@@ -1,0 +1,317 @@
+//! A conceptually centralised graph-tracing GGD with a consensus phase.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use ggd_heap::ReachabilitySnapshot;
+use ggd_net::{MessageClass, Payload};
+use ggd_types::{GlobalAddr, SiteId, VertexId};
+
+/// Control messages of the tracing baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracingMessage {
+    /// A site reports its whole contribution to the global root graph to
+    /// the coordinator (one entry per vertex it hosts, with that vertex's
+    /// out-going inter-site edges and whether it is an actual root).
+    Report {
+        /// Reporting site.
+        site: SiteId,
+        /// Monotonically increasing epoch of the report.
+        epoch: u64,
+        /// The site's vertices, their rootedness and their out-edges.
+        vertices: Vec<(VertexId, bool, Vec<GlobalAddr>)>,
+    },
+    /// The coordinator's verdicts for one site: these global roots are no
+    /// longer reachable from any actual root.
+    Sweep {
+        /// Unreachable global roots hosted by the destination site.
+        garbage: Vec<GlobalAddr>,
+    },
+}
+
+impl Payload for TracingMessage {
+    fn class(&self) -> MessageClass {
+        MessageClass::Control
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            TracingMessage::Report { .. } => "trace-report",
+            TracingMessage::Sweep { .. } => "trace-sweep",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            TracingMessage::Report { vertices, .. } => {
+                24 + vertices
+                    .iter()
+                    .map(|(_, _, edges)| 24 + 16 * edges.len())
+                    .sum::<usize>()
+            }
+            TracingMessage::Sweep { garbage } => 16 + 16 * garbage.len(),
+        }
+    }
+}
+
+/// The graph-tracing baseline engine.
+///
+/// Site 0 doubles as the coordinator. Every site eagerly reports its portion
+/// of the global root graph whenever it changes; the coordinator traces the
+/// assembled graph, but — and this is the consensus bottleneck the paper
+/// attacks — it may only emit verdicts once it holds a report from **every**
+/// site, because a missing report could hide a path that keeps an object
+/// alive.
+#[derive(Debug, Clone)]
+pub struct TracingEngine {
+    site: SiteId,
+    coordinator: SiteId,
+    total_sites: u32,
+    epoch: u64,
+    last_report: Vec<(VertexId, bool, Vec<GlobalAddr>)>,
+    /// Coordinator state: the latest report from every site.
+    reports: BTreeMap<SiteId, Vec<(VertexId, bool, Vec<GlobalAddr>)>>,
+    already_swept: BTreeSet<GlobalAddr>,
+    outgoing: Vec<(SiteId, TracingMessage)>,
+    verdicts: Vec<GlobalAddr>,
+}
+
+impl TracingEngine {
+    /// Creates the engine for `site` in a system of `total_sites` sites.
+    pub fn new(site: SiteId, total_sites: u32) -> Self {
+        TracingEngine {
+            site,
+            coordinator: SiteId::new(0),
+            total_sites,
+            epoch: 0,
+            last_report: Vec::new(),
+            reports: BTreeMap::new(),
+            already_swept: BTreeSet::new(),
+            outgoing: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The site this engine runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// True when this engine is the coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.site == self.coordinator
+    }
+
+    /// Number of sites the coordinator has current reports from.
+    pub fn reports_held(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// A fresh reachability snapshot: (re)build this site's report and send
+    /// it to the coordinator if it changed.
+    pub fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
+        let anchor = VertexId::SiteRoot(self.site);
+        let mut vertices = vec![(
+            anchor,
+            true,
+            snapshot.edges_of(anchor).into_iter().collect::<Vec<_>>(),
+        )];
+        for id in snapshot.global_roots() {
+            let vertex = VertexId::Object(GlobalAddr::from_parts(self.site, id));
+            vertices.push((
+                vertex,
+                snapshot.is_locally_rooted(id),
+                snapshot.edges_of(vertex).into_iter().collect(),
+            ));
+        }
+        if vertices == self.last_report {
+            return;
+        }
+        self.last_report = vertices.clone();
+        self.epoch += 1;
+        let report = TracingMessage::Report {
+            site: self.site,
+            epoch: self.epoch,
+            vertices,
+        };
+        if self.is_coordinator() {
+            self.on_message(report);
+        } else {
+            self.outgoing.push((self.coordinator, report));
+        }
+    }
+
+    /// Processes one incoming control message.
+    pub fn on_message(&mut self, message: TracingMessage) {
+        match message {
+            TracingMessage::Report { site, vertices, .. } => {
+                if self.is_coordinator() {
+                    self.reports.insert(site, vertices);
+                    self.trace_if_complete();
+                }
+            }
+            TracingMessage::Sweep { garbage } => {
+                for addr in garbage {
+                    if addr.site() == self.site {
+                        self.verdicts.push(addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains queued control messages.
+    pub fn take_outgoing(&mut self) -> Vec<(SiteId, TracingMessage)> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Drains verdicts.
+    pub fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
+        std::mem::take(&mut self.verdicts)
+    }
+
+    /// The consensus-gated trace: runs only when every site has reported.
+    fn trace_if_complete(&mut self) {
+        if self.reports.len() < self.total_sites as usize {
+            return;
+        }
+        // Assemble the global root graph and trace it from the actual roots.
+        let mut edges: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+        let mut roots: Vec<VertexId> = Vec::new();
+        let mut all_objects: BTreeSet<GlobalAddr> = BTreeSet::new();
+        for vertices in self.reports.values() {
+            for (vertex, is_root, targets) in vertices {
+                if let VertexId::Object(addr) = vertex {
+                    all_objects.insert(*addr);
+                }
+                if *is_root || vertex.is_site_root() {
+                    roots.push(*vertex);
+                }
+                edges
+                    .entry(*vertex)
+                    .or_default()
+                    .extend(targets.iter().map(|&t| VertexId::Object(t)));
+            }
+        }
+        let mut marked: BTreeSet<VertexId> = BTreeSet::new();
+        let mut stack = roots;
+        while let Some(vertex) = stack.pop() {
+            if !marked.insert(vertex) {
+                continue;
+            }
+            if let Some(succ) = edges.get(&vertex) {
+                stack.extend(succ.iter().copied());
+            }
+        }
+        let mut per_site: BTreeMap<SiteId, Vec<GlobalAddr>> = BTreeMap::new();
+        for addr in all_objects {
+            if !marked.contains(&VertexId::Object(addr)) && self.already_swept.insert(addr) {
+                per_site.entry(addr.site()).or_default().push(addr);
+            }
+        }
+        for (site, garbage) in per_site {
+            let sweep = TracingMessage::Sweep { garbage };
+            if site == self.site {
+                self.on_message(sweep);
+            } else {
+                self.outgoing.push((site, sweep));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggd_heap::{ObjRef, SiteHeap};
+
+    fn snapshot_of(heap: &SiteHeap) -> ReachabilitySnapshot {
+        heap.snapshot()
+    }
+
+    #[test]
+    fn verdict_requires_reports_from_every_site() {
+        // Site 0: root -> remote object on site 1; site 2 idle.
+        let mut h0 = SiteHeap::new(SiteId::new(0));
+        let mut h1 = SiteHeap::new(SiteId::new(1));
+        let h2 = SiteHeap::new(SiteId::new(2));
+        let mut e0 = TracingEngine::new(SiteId::new(0), 3);
+        let mut e1 = TracingEngine::new(SiteId::new(1), 3);
+        let mut e2 = TracingEngine::new(SiteId::new(2), 3);
+        assert!(e0.is_coordinator());
+        assert!(!e1.is_coordinator());
+
+        let obj = h1.alloc();
+        h1.register_global_root(obj).unwrap();
+        let obj_addr = h1.addr_of(obj);
+        let root = h0.alloc_local_root();
+        h0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        h0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+
+        // Only sites 0 and 1 report: no sweep may be emitted yet.
+        e0.apply_snapshot(&snapshot_of(&h0));
+        e1.apply_snapshot(&snapshot_of(&h1));
+        for (to, msg) in e1.take_outgoing() {
+            assert_eq!(to, SiteId::new(0));
+            e0.on_message(msg);
+        }
+        assert_eq!(e0.reports_held(), 2);
+        assert!(e0.take_outgoing().is_empty(), "consensus not reached yet");
+
+        // The third site reports; the trace completes and the object on
+        // site 1 is swept.
+        e2.apply_snapshot(&snapshot_of(&h2));
+        for (_to, msg) in e2.take_outgoing() {
+            e0.on_message(msg);
+        }
+        let out = e0.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId::new(1));
+        for (_, msg) in out {
+            e1.on_message(msg);
+        }
+        assert_eq!(e1.take_verdicts(), vec![obj_addr]);
+    }
+
+    #[test]
+    fn tracing_collects_cycles_once_everyone_reports() {
+        // A two-object cross-site cycle with no root.
+        let mut h0 = SiteHeap::new(SiteId::new(0));
+        let mut h1 = SiteHeap::new(SiteId::new(1));
+        let a = h0.alloc();
+        let b = h1.alloc();
+        h0.register_global_root(a).unwrap();
+        h1.register_global_root(b).unwrap();
+        h0.add_ref(a, ObjRef::Remote(h1.addr_of(b))).unwrap();
+        h1.add_ref(b, ObjRef::Remote(h0.addr_of(a))).unwrap();
+
+        let mut e0 = TracingEngine::new(SiteId::new(0), 2);
+        let mut e1 = TracingEngine::new(SiteId::new(1), 2);
+        e0.apply_snapshot(&h0.snapshot());
+        e1.apply_snapshot(&h1.snapshot());
+        for (_, msg) in e1.take_outgoing() {
+            e0.on_message(msg);
+        }
+        let verdicts_for_site0 = e0.take_verdicts();
+        assert_eq!(verdicts_for_site0, vec![h0.addr_of(a)]);
+        let out = e0.take_outgoing();
+        assert_eq!(out.len(), 1);
+        for (_, msg) in out {
+            e1.on_message(msg);
+        }
+        assert_eq!(e1.take_verdicts(), vec![h1.addr_of(b)]);
+    }
+
+    #[test]
+    fn message_sizes_scale_with_report_content() {
+        let small = TracingMessage::Sweep { garbage: vec![] };
+        let big = TracingMessage::Report {
+            site: SiteId::new(1),
+            epoch: 1,
+            vertices: vec![(VertexId::site_root(1), true, vec![GlobalAddr::new(2, 2); 8])],
+        };
+        assert!(big.size_hint() > small.size_hint());
+        assert_eq!(big.label(), "trace-report");
+        assert_eq!(small.label(), "trace-sweep");
+    }
+}

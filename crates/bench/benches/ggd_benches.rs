@@ -1,0 +1,68 @@
+//! Criterion micro- and macro-benchmarks:
+//!
+//! * dependency-vector merge and closure reconstruction (the per-message
+//!   cost of the causal engine),
+//! * the paper-example scenario end to end,
+//! * the E3 list-collapse scenario for a representative k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ggd_bench::run_causal;
+use ggd_causal::DkLog;
+use ggd_mutator::workloads;
+use ggd_types::{DependencyVector, Timestamp, VertexId};
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector");
+    for size in [8usize, 64, 256] {
+        let a: DependencyVector = (0..size)
+            .map(|i| (VertexId::object(i as u32, 1), Timestamp::created(i as u64 + 1)))
+            .collect();
+        let b: DependencyVector = (0..size)
+            .map(|i| (VertexId::object(i as u32, 1), Timestamp::created(i as u64 + 2)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("merge", size), &size, |bencher, _| {
+            bencher.iter(|| a.merged_with(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure");
+    for chain in [8u64, 64, 256] {
+        let mut log = DkLog::new();
+        for i in 0..chain {
+            let this = VertexId::object(i as u32, 1);
+            let next = VertexId::object(i as u32 + 1, 1);
+            log.row_mut(next).vector.set(this, Timestamp::created(i + 1));
+            log.row_mut(this).vector.set(this, Timestamp::created(i + 1));
+        }
+        let subject = VertexId::object(chain as u32, 1);
+        group.bench_with_input(BenchmarkId::new("chain", chain), &chain, |bencher, _| {
+            bencher.iter(|| log.closure(subject));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    let paper = workloads::paper_example();
+    group.bench_function("paper_example", |bencher| {
+        bencher.iter(|| run_causal(&paper));
+    });
+    let list = workloads::doubly_linked_list(8);
+    group.bench_function("list_collapse_k8", |bencher| {
+        bencher.iter(|| run_causal(&list));
+    });
+    let ring = workloads::ring(8);
+    group.bench_function("ring_collapse_k8", |bencher| {
+        bencher.iter(|| run_causal(&ring));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_ops, bench_closure, bench_scenarios);
+criterion_main!(benches);

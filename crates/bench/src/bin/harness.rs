@@ -1,0 +1,62 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p ggd-bench --bin harness            # all experiments
+//! cargo run --release -p ggd-bench --bin harness -- e3 e6   # a subset
+//! ```
+
+use ggd_bench as bench;
+
+fn wanted(args: &[String], id: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if wanted(&args, "e1") || wanted(&args, "e2") {
+        let (report, logs) = bench::experiment_paper_example();
+        println!("## E1/E2 — the paper's running example (Figures 3-5, 8)");
+        println!("{report}");
+        println!("final per-site DK logs:\n{logs}");
+    }
+    if wanted(&args, "e3") {
+        let rows = bench::experiment_list_collapse(&[2, 4, 8, 16, 24]);
+        println!(
+            "{}",
+            bench::render(
+                "E3 — doubly-linked list collapse (§4, Schelvis comparison; schelvis* is the analytical O(k²) packet count)",
+                &rows
+            )
+        );
+    }
+    if wanted(&args, "e4") {
+        let rows = bench::experiment_faults(&[(0.0, 0.0), (0.1, 0.0), (0.3, 0.0), (0.0, 0.3), (0.3, 0.3)]);
+        println!("{}", bench::render("E4 — safety under message loss / duplication", &rows));
+    }
+    if wanted(&args, "e5") {
+        let rows = bench::experiment_lazy_vs_eager(&[2, 4, 8, 16]);
+        println!(
+            "{}",
+            bench::render("E5 — lazy vs eager log-keeping on third-party exchanges", &rows)
+        );
+    }
+    if wanted(&args, "e6") {
+        let rows = bench::experiment_cycles(&[2, 4, 8, 12]);
+        println!("{}", bench::render("E6 — comprehensiveness: inter-site cycles", &rows));
+    }
+    if wanted(&args, "e7") {
+        let rows = bench::experiment_stalled_site(&[6, 10, 14]);
+        println!(
+            "{}",
+            bench::render("E7 — consensus bottleneck: one unrelated site stalled", &rows)
+        );
+    }
+    if wanted(&args, "e8") {
+        let rows = bench::experiment_live_population(&[1, 4, 16, 32]);
+        println!(
+            "{}",
+            bench::render("E8 — fixed garbage, growing live population", &rows)
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Experiment harness regenerating every figure and quantitative claim of
+//! the paper (see DESIGN.md §5 and EXPERIMENTS.md).
+//!
+//! Each `run_*` function returns printable rows so that the same code backs
+//! the `harness` binary, the Criterion benchmarks and the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ggd_mutator::{workloads, Scenario};
+use ggd_net::FaultPlan;
+use ggd_sim::{
+    CausalCollector, Cluster, ClusterConfig, Collector, RefListingCollector, RunReport,
+    TracingCollector,
+};
+use ggd_types::SiteId;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Independent-variable description (e.g. `k=8` or `p=0.3`).
+    pub x: String,
+    /// Collector name.
+    pub collector: String,
+    /// Named measurements, in display order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    fn from_report(x: impl Into<String>, report: &RunReport) -> Row {
+        Row {
+            x: x.into(),
+            collector: report.collector.clone(),
+            values: vec![
+                ("control_msgs", report.control_messages() as f64),
+                ("mutator_msgs", report.mutator_messages() as f64),
+                ("reclaimed", report.reclaimed as f64),
+                ("residual", report.residual_garbage as f64),
+                ("violations", report.safety_violations as f64),
+                (
+                    "latency",
+                    report.detection_latency().map(|l| l as f64).unwrap_or(-1.0),
+                ),
+            ],
+        }
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn render(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("## {title}\n");
+    if rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    out.push_str(&format!("{:<14} {:<12}", "x", "collector"));
+    for (name, _) in &rows[0].values {
+        out.push_str(&format!(" {name:>13}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<14} {:<12}", row.x, row.collector));
+        for (_, value) in &row.values {
+            out.push_str(&format!(" {value:>13.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn run_with<C: Collector>(
+    scenario: &Scenario,
+    config: ClusterConfig,
+    factory: impl Fn(SiteId) -> C,
+) -> RunReport {
+    let mut cluster = Cluster::from_scenario(scenario, config, factory);
+    cluster.run(scenario)
+}
+
+/// Runs a scenario under the causal collector with default configuration.
+pub fn run_causal(scenario: &Scenario) -> RunReport {
+    run_with(scenario, ClusterConfig::default(), CausalCollector::new)
+}
+
+/// E1/E2 — the paper's running example (Figures 3–5 and 8): the report plus
+/// the final per-site `DK` logs.
+pub fn experiment_paper_example() -> (RunReport, String) {
+    let scenario = workloads::paper_example();
+    let mut cluster =
+        Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+    let report = cluster.run(&scenario);
+    let mut logs = String::new();
+    for i in 0..scenario.site_count() {
+        let site = SiteId::new(i);
+        logs.push_str(&format!("--- {site}\n{}", cluster.collector(site).engine().log()));
+    }
+    (report, logs)
+}
+
+/// E3 — message complexity of collecting a disconnected doubly-linked list
+/// of `k` elements (the §4 Schelvis comparison), causal vs tracing, plus the
+/// analytical O(k²) packet count Schelvis' depth-first scheme would need.
+pub fn experiment_list_collapse(ks: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let scenario = workloads::doubly_linked_list(k);
+        let report = run_causal(&scenario);
+        rows.push(Row::from_report(format!("k={k}"), &report));
+        let report = run_with(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        rows.push(Row::from_report(format!("k={k}"), &report));
+        rows.push(Row {
+            x: format!("k={k}"),
+            collector: "schelvis*".into(),
+            values: vec![("control_msgs", f64::from(k) * f64::from(k))],
+        });
+    }
+    rows
+}
+
+/// E4 — robustness: safety and residual garbage under message loss and
+/// duplication.
+pub fn experiment_faults(probabilities: &[(f64, f64)]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(drop_p, dup_p) in probabilities {
+        let scenario = workloads::random_churn(4, 120, 42);
+        let mut faults = FaultPlan::new();
+        if drop_p > 0.0 {
+            faults = faults.with_drop_probability(drop_p);
+        }
+        if dup_p > 0.0 {
+            faults = faults.with_duplicate_probability(dup_p);
+        }
+        let config = ClusterConfig {
+            faults,
+            seed: 9,
+            ..ClusterConfig::default()
+        };
+        let report = run_with(&scenario, config, CausalCollector::new);
+        rows.push(Row::from_report(format!("p={drop_p}/{dup_p}"), &report));
+    }
+    rows
+}
+
+/// E5 — log-keeping overhead on a third-party-exchange workload: the lazy
+/// mechanism adds no control messages per exchange, eager reference listing
+/// does.
+pub fn experiment_lazy_vs_eager(spokes: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in spokes {
+        let scenario = workloads::third_party_exchanges(n);
+        let report = run_causal(&scenario);
+        rows.push(Row::from_report(format!("spokes={n}"), &report));
+        let report = run_with(&scenario, ClusterConfig::default(), RefListingCollector::new);
+        rows.push(Row::from_report(format!("spokes={n}"), &report));
+    }
+    rows
+}
+
+/// E6 — comprehensiveness: inter-site cyclic garbage under each collector.
+pub fn experiment_cycles(sizes: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &k in sizes {
+        let scenario = workloads::ring(k);
+        let report = run_causal(&scenario);
+        rows.push(Row::from_report(format!("ring={k}"), &report));
+        let report = run_with(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        rows.push(Row::from_report(format!("ring={k}"), &report));
+        let report = run_with(&scenario, ClusterConfig::default(), RefListingCollector::new);
+        rows.push(Row::from_report(format!("ring={k}"), &report));
+    }
+    rows
+}
+
+/// E7 — the consensus bottleneck: a garbage island touching 3 of N sites,
+/// with one unrelated site stalled. The causal collector reclaims the island
+/// anyway; the tracing collector cannot reclaim anything until the stalled
+/// site resumes.
+pub fn experiment_stalled_site(total_sites: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in total_sites {
+        let scenario = workloads::garbage_island(n, 3, 2);
+        let stalled = SiteId::new(n - 1);
+        let config = ClusterConfig {
+            faults: FaultPlan::new().with_stalled_site(stalled),
+            ..ClusterConfig::default()
+        };
+        let report = run_with(&scenario, config, CausalCollector::new);
+        rows.push(Row::from_report(format!("sites={n}"), &report));
+        let config = ClusterConfig {
+            faults: FaultPlan::new().with_stalled_site(stalled),
+            ..ClusterConfig::default()
+        };
+        let report = run_with(&scenario, config, TracingCollector::factory(n));
+        rows.push(Row::from_report(format!("sites={n}"), &report));
+    }
+    rows
+}
+
+/// E8 — message complexity scales with the amount of garbage, not with the
+/// amount of live data: fixed 3-site garbage island, growing live heap.
+pub fn experiment_live_population(live_per_site: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &live in live_per_site {
+        let scenario = workloads::garbage_island(8, 3, live);
+        let report = run_causal(&scenario);
+        rows.push(Row::from_report(format!("live={live}"), &report));
+        let report = run_with(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(8),
+        );
+        rows.push(Row::from_report(format!("live={live}"), &report));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_experiment_is_clean() {
+        let (report, logs) = experiment_paper_example();
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert!(logs.contains("DK["));
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = experiment_cycles(&[3]);
+        let text = render("cycles", &rows);
+        assert!(text.contains("causal"));
+        assert!(text.contains("reflisting"));
+    }
+
+    #[test]
+    fn causal_beats_reflisting_on_cycles() {
+        let rows = experiment_cycles(&[4]);
+        let causal: f64 = rows
+            .iter()
+            .find(|r| r.collector == "causal")
+            .unwrap()
+            .values
+            .iter()
+            .find(|(n, _)| *n == "residual")
+            .unwrap()
+            .1;
+        let reflist: f64 = rows
+            .iter()
+            .find(|r| r.collector == "reflisting")
+            .unwrap()
+            .values
+            .iter()
+            .find(|(n, _)| *n == "residual")
+            .unwrap()
+            .1;
+        assert_eq!(causal, 0.0);
+        assert!(reflist > 0.0);
+    }
+}

@@ -1,0 +1,764 @@
+//! The per-site causal GGD engine: lazy log-keeping plus the `Receive` /
+//! `ComputeV` reconstruction of vector-times (Fig. 6 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ggd_heap::ReachabilitySnapshot;
+use ggd_types::{DependencyVector, GlobalAddr, SiteId, Timestamp, VertexId};
+
+use crate::log::{DkLog, RootedVector};
+use crate::message::CausalMessage;
+
+/// A control message queued by the engine, together with its destination
+/// site. The caller (normally `ggd-sim`) moves these onto the transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outgoing {
+    /// Site hosting the destination vertex.
+    pub to_site: SiteId,
+    /// The control message itself.
+    pub message: CausalMessage,
+}
+
+/// Counters describing what the engine has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Edge-creation log-keeping events recorded (lazily, no messages).
+    pub edge_creations: u64,
+    /// Edge-destruction log-keeping events recorded.
+    pub edge_destructions: u64,
+    /// Reference exports / third-party sends recorded by the lazy rules.
+    pub lazy_records: u64,
+    /// Edge-destruction control messages queued.
+    pub destructions_sent: u64,
+    /// Vector-propagation control messages queued.
+    pub propagations_sent: u64,
+    /// Control messages received.
+    pub messages_received: u64,
+    /// Garbage verdicts produced.
+    pub verdicts: u64,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "creations={} destructions={} sent={}+{} recv={} verdicts={}",
+            self.edge_creations,
+            self.edge_destructions,
+            self.destructions_sent,
+            self.propagations_sent,
+            self.messages_received,
+            self.verdicts
+        )
+    }
+}
+
+/// The causal GGD engine of one site.
+///
+/// See the crate-level documentation for the full protocol and a worked
+/// example; in short the engine consumes mutator-side lazy log-keeping
+/// events ([`CausalEngine::on_export`], [`CausalEngine::on_third_party_send`]),
+/// reachability snapshots ([`CausalEngine::apply_snapshot`]) and incoming
+/// control messages ([`CausalEngine::on_message`]), and produces outgoing
+/// control messages and garbage verdicts.
+#[derive(Debug, Clone)]
+pub struct CausalEngine {
+    site: SiteId,
+    counters: BTreeMap<VertexId, u64>,
+    log: DkLog,
+    last_closure: BTreeMap<VertexId, DependencyVector>,
+    edges_out: BTreeMap<VertexId, BTreeSet<GlobalAddr>>,
+    locally_rooted: BTreeSet<VertexId>,
+    inbound_holders: BTreeMap<GlobalAddr, BTreeSet<VertexId>>,
+    static_roots: BTreeSet<VertexId>,
+    detected: BTreeSet<GlobalAddr>,
+    pending_verdicts: Vec<GlobalAddr>,
+    outgoing: Vec<Outgoing>,
+    stats: EngineStats,
+}
+
+impl CausalEngine {
+    /// Creates the engine for `site`.
+    pub fn new(site: SiteId) -> Self {
+        CausalEngine {
+            site,
+            counters: BTreeMap::new(),
+            log: DkLog::new(),
+            last_closure: BTreeMap::new(),
+            edges_out: BTreeMap::new(),
+            locally_rooted: BTreeSet::new(),
+            inbound_holders: BTreeMap::new(),
+            static_roots: BTreeSet::new(),
+            detected: BTreeSet::new(),
+            pending_verdicts: Vec::new(),
+            outgoing: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The site this engine runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The vertex standing for this site's local root set.
+    pub fn anchor(&self) -> VertexId {
+        VertexId::SiteRoot(self.site)
+    }
+
+    /// Read access to the engine's log `DK` (used to reproduce Figure 8 of
+    /// the paper and by tests).
+    pub fn log(&self) -> &DkLog {
+        &self.log
+    }
+
+    /// Current per-vertex event counters.
+    pub fn counter(&self, vertex: VertexId) -> u64 {
+        self.counters.get(&vertex).copied().unwrap_or(0)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Registers a vertex as a statically designated actual root of the
+    /// global root graph (a well-known persistent root). Site anchors are
+    /// roots automatically and need no registration.
+    pub fn register_designated_root(&mut self, vertex: VertexId) {
+        self.static_roots.insert(vertex);
+    }
+
+    /// Drains the control messages queued since the last call.
+    pub fn take_outgoing(&mut self) -> Vec<Outgoing> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// True when the engine has queued control messages.
+    pub fn has_outgoing(&self) -> bool {
+        !self.outgoing.is_empty()
+    }
+
+    /// Drains the garbage verdicts produced since the last call. Each entry
+    /// is a local object that is provably no longer remotely reachable and
+    /// may be removed from the heap's global root set.
+    pub fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
+        std::mem::take(&mut self.pending_verdicts)
+    }
+
+    /// All verdicts ever produced by this engine.
+    pub fn detected(&self) -> impl Iterator<Item = GlobalAddr> + '_ {
+        self.detected.iter().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy log-keeping (§3.4)
+    // ------------------------------------------------------------------
+
+    /// Lazy rule for exporting a *local* object's reference to a remote
+    /// vertex: the paper's "object i sends a copy of its own reference to
+    /// object j". The engine records, in the exported object's own row, a
+    /// placeholder live entry keyed by the recipient, so that the object
+    /// knows it has (at least) that inbound edge. No message is sent.
+    pub fn on_export(&mut self, exported: GlobalAddr, recipient: VertexId) {
+        debug_assert_eq!(exported.site(), self.site, "exported object must be local");
+        let vertex = VertexId::Object(exported);
+        self.bump(vertex);
+        self.log
+            .row_mut(vertex)
+            .vector
+            .merge_entry(recipient, Timestamp::created(1));
+        self.stats.lazy_records += 1;
+    }
+
+    /// Lazy rule for a third-party exchange: this site sends to `recipient`
+    /// a reference denoting the *remote* object `target` (the paper's
+    /// "object i sends to an object j a copy of a reference denoting an
+    /// object k"). The engine records the would-be edge `recipient → target`
+    /// in the row it keeps on the target's behalf; the knowledge is shipped
+    /// to the target later, bundled with an edge-destruction message. No
+    /// message is sent now.
+    pub fn on_third_party_send(&mut self, target: GlobalAddr, recipient: VertexId) {
+        if target.site() == self.site {
+            self.on_export(target, recipient);
+            return;
+        }
+        let row = self.log.row_mut(VertexId::Object(target));
+        row.vector.merge_entry(recipient, Timestamp::created(1));
+        self.stats.lazy_records += 1;
+    }
+
+    /// Lazy rule for the *receiving* side of a reference transfer: local
+    /// object `recipient` has just received (and stored) a reference to the
+    /// remote object `target`. The engine records, in the row it keeps on
+    /// the target's behalf, a live entry keyed by the recipient object, and
+    /// remembers the holder so that the entry can be marked destroyed — and
+    /// shipped, bundled with the edge-destruction message — once this site
+    /// as a whole loses its last path to the target. No message is sent now.
+    pub fn on_receive_ref(&mut self, recipient: GlobalAddr, target: GlobalAddr) {
+        if target.site() == self.site {
+            return; // purely local reference, no inter-site edge involved
+        }
+        debug_assert_eq!(recipient.site(), self.site, "recipient must be local");
+        let holder = VertexId::Object(recipient);
+        // The hosting site is the authority for this holder's entry: use the
+        // holder's own (monotone) event counter so that later destructions
+        // and re-acquisitions always supersede older knowledge, wherever it
+        // was recorded.
+        let n = self.bump(holder);
+        self.log
+            .row_mut(VertexId::Object(target))
+            .vector
+            .merge_entry(holder, Timestamp::created(n));
+        self.inbound_holders.entry(target).or_default().insert(holder);
+        self.stats.lazy_records += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots: edge creations / destructions (§3.1)
+    // ------------------------------------------------------------------
+
+    /// Applies a reachability snapshot of this site's heap, turning edge
+    /// differences into log-keeping events: creations are recorded lazily,
+    /// destructions additionally queue edge-destruction control messages. A
+    /// global root losing its local-rootedness also propagates its freshened
+    /// (no-longer-a-root) vector to its acquaintances.
+    pub fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
+        debug_assert_eq!(snapshot.site(), self.site, "snapshot must be local");
+
+        // 1. Local-rootedness transitions of global roots.
+        let mut rootedness_changed = Vec::new();
+        let now_rooted: BTreeSet<VertexId> = snapshot
+            .global_roots()
+            .filter(|&id| snapshot.is_locally_rooted(id))
+            .map(|id| VertexId::Object(GlobalAddr::from_parts(self.site, id)))
+            .collect();
+        let all_current: BTreeSet<VertexId> = snapshot
+            .global_roots()
+            .map(|id| VertexId::Object(GlobalAddr::from_parts(self.site, id)))
+            .collect();
+        for vertex in all_current.iter().copied() {
+            let was = self.locally_rooted.contains(&vertex);
+            let is = now_rooted.contains(&vertex);
+            if was != is {
+                let n = self.bump(vertex);
+                self.log.stamp_root(vertex, n, is);
+                rootedness_changed.push(vertex);
+            } else if is {
+                // Refresh the stamp so outgoing vectors carry it.
+                let n = self.counter(vertex).max(1);
+                self.log.stamp_root(vertex, n, true);
+            }
+        }
+        self.locally_rooted = now_rooted;
+
+        // 2. Edge differences per local vertex.
+        let mut new_edges: BTreeMap<VertexId, BTreeSet<GlobalAddr>> = BTreeMap::new();
+        new_edges.insert(self.anchor(), snapshot.edges_of(self.anchor()));
+        for vertex in all_current {
+            new_edges.insert(vertex, snapshot.edges_of(vertex));
+        }
+
+        let mut all_vertices: BTreeSet<VertexId> = self.edges_out.keys().copied().collect();
+        all_vertices.extend(new_edges.keys().copied());
+
+        for vertex in all_vertices {
+            let old = self.edges_out.remove(&vertex).unwrap_or_default();
+            let new = new_edges.get(&vertex).cloned().unwrap_or_default();
+            for &target in new.difference(&old) {
+                let n = self.bump(vertex);
+                self.log
+                    .row_mut(VertexId::Object(target))
+                    .vector
+                    .merge_entry(vertex, Timestamp::created(n));
+                self.stats.edge_creations += 1;
+                // Deliberate deviation from pure laziness (see DESIGN.md):
+                // edges whose source is an actual root are announced to the
+                // target right away, so that a concurrent garbage evaluation
+                // elsewhere can never miss the newly created root path.
+                // Third-party and non-root edge creations stay message-free.
+                if vertex.is_site_root() || self.locally_rooted.contains(&vertex) {
+                    self.queue_root_announcement(vertex, target, n);
+                }
+            }
+            for &target in old.difference(&new) {
+                let n = self.bump(vertex);
+                self.log
+                    .row_mut(VertexId::Object(target))
+                    .vector
+                    .set(vertex, Timestamp::destroyed(n));
+                self.stats.edge_destructions += 1;
+                self.mark_lost_holders(target, &new_edges);
+                self.queue_destruction(vertex, target);
+            }
+        }
+        self.edges_out = new_edges;
+        self.edges_out.retain(|_, targets| !targets.is_empty());
+
+        // 3. Vertices whose local-rootedness changed announce their fresh
+        // status along their out-going edges: losing it lazily restores
+        // comprehensiveness, gaining it promptly preserves safety.
+        for vertex in rootedness_changed {
+            self.last_closure.insert(vertex, self.log.closure(vertex));
+            self.propagate(vertex);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receive (Fig. 6)
+    // ------------------------------------------------------------------
+
+    /// Processes one incoming GGD control message: the paper's `Receive`
+    /// procedure, followed by `ComputeV` and either further propagation or a
+    /// garbage verdict.
+    pub fn on_message(&mut self, message: CausalMessage) {
+        self.stats.messages_received += 1;
+        let CausalMessage { from, to, payload } = message;
+        if to.site() != self.site {
+            // Misrouted message: ignore (robustness over panicking).
+            return;
+        }
+        self.log.absorb_root_flags(&payload);
+
+        let news = payload.vector.get(from);
+        let mut changed = false;
+        if news.is_live() {
+            // Propagation: `payload` is the sender's own latest vector.
+            changed |= self.log.row_mut(from).merge(&payload);
+        } else {
+            // Edge destruction: `payload` is the vector the sender kept on
+            // the recipient's behalf (bundled lazy edge-creation news).
+            changed |= self.log.row_mut(to).merge(&payload);
+        }
+        changed |= self.log.row_mut(to).vector.merge_entry(from, news);
+
+        if changed && !news.is_live() {
+            // A (new) edge-destruction event at the recipient vertex.
+            self.bump(to);
+        }
+
+        let closure = self.log.closure(to);
+        if self.last_closure.get(&to) != Some(&closure) {
+            // New knowledge: circulate the improved approximation of the
+            // vector-time along the out-going edges (step 3, §3.3).
+            self.last_closure.insert(to, closure.clone());
+            self.propagate(to);
+        }
+        // Evaluate the garbage test on every receipt. The paper gates it on
+        // a no-change receipt as a convergence proxy; here the explicit
+        // safety conditions (placeholder resolution and root flags, see
+        // DESIGN.md) make the test safe to run eagerly, which removes the
+        // dependence on a further message arriving.
+        self.maybe_declare_garbage(to, &closure);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// When this site as a whole no longer reaches `target` from any of its
+    /// vertices, the placeholder entries recorded for the local objects that
+    /// once held the reference are marked destroyed so that the bundled
+    /// edge-destruction message supersedes the matching placeholders held at
+    /// the target's site.
+    fn mark_lost_holders(
+        &mut self,
+        target: GlobalAddr,
+        new_edges: &BTreeMap<VertexId, BTreeSet<GlobalAddr>>,
+    ) {
+        let still_reached = new_edges.values().any(|targets| targets.contains(&target));
+        if still_reached {
+            return;
+        }
+        if let Some(holders) = self.inbound_holders.remove(&target) {
+            for holder in holders {
+                let index = self.bump(holder);
+                self.log
+                    .row_mut(VertexId::Object(target))
+                    .vector
+                    .set(holder, Timestamp::destroyed(index));
+            }
+        }
+    }
+
+    fn bump(&mut self, vertex: VertexId) -> u64 {
+        let counter = self.counters.entry(vertex).or_insert(0);
+        *counter += 1;
+        let n = *counter;
+        self.log
+            .row_mut(vertex)
+            .vector
+            .merge_entry(vertex, Timestamp::created(n));
+        n
+    }
+
+    fn is_root(&self, vertex: VertexId) -> bool {
+        vertex.is_site_root() || self.static_roots.contains(&vertex) || self.log.is_root(vertex)
+    }
+
+    fn outgoing_payload(&self, vector: DependencyVector) -> RootedVector {
+        let mut payload = RootedVector::from_vector(vector);
+        for (&vertex, &(as_of, is_root)) in self.log.root_flags() {
+            payload.stamp_root(vertex, as_of, is_root);
+        }
+        for &vertex in &self.locally_rooted {
+            payload.stamp_root(vertex, self.counter(vertex).max(1), true);
+        }
+        payload
+    }
+
+    fn queue_root_announcement(&mut self, from: VertexId, target: GlobalAddr, index: u64) {
+        let to = VertexId::Object(target);
+        let mut vector = DependencyVector::new();
+        vector.set(from, Timestamp::created(index));
+        let payload = self.outgoing_payload(vector);
+        self.stats.propagations_sent += 1;
+        self.outgoing.push(Outgoing {
+            to_site: target.site(),
+            message: CausalMessage { from, to, payload },
+        });
+    }
+
+    fn queue_destruction(&mut self, from: VertexId, target: GlobalAddr) {
+        let to = VertexId::Object(target);
+        let row = self.log.row(to).cloned().unwrap_or_default();
+        let mut payload = self.outgoing_payload(row.vector);
+        for (vertex, stamp) in row.root_flags {
+            payload.stamp_root(vertex, stamp.0, stamp.1);
+        }
+        self.stats.destructions_sent += 1;
+        self.outgoing.push(Outgoing {
+            to_site: target.site(),
+            message: CausalMessage { from, to, payload },
+        });
+    }
+
+    fn propagate(&mut self, vertex: VertexId) {
+        let Some(targets) = self.edges_out.get(&vertex).cloned() else {
+            return;
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let closure = self
+            .last_closure
+            .get(&vertex)
+            .cloned()
+            .unwrap_or_else(|| self.log.closure(vertex));
+        // The propagated vector carries the live transitive closure *plus*
+        // the destroyed entries of the vertex's own row: receivers merge
+        // monotonically (for idempotence), so destruction news must travel
+        // with the propagation or stale live entries could never be revoked
+        // downstream.
+        let mut knowledge = self
+            .log
+            .row(vertex)
+            .map(|row| row.vector.clone())
+            .unwrap_or_default();
+        knowledge.merge(&closure);
+        for target in targets {
+            let payload = self.outgoing_payload(knowledge.clone());
+            self.stats.propagations_sent += 1;
+            self.outgoing.push(Outgoing {
+                to_site: target.site(),
+                message: CausalMessage {
+                    from: vertex,
+                    to: VertexId::Object(target),
+                    payload,
+                },
+            });
+        }
+    }
+
+    fn maybe_declare_garbage(&mut self, vertex: VertexId, closure: &DependencyVector) {
+        let VertexId::Object(addr) = vertex else {
+            return; // Anchors are never garbage.
+        };
+        if self.detected.contains(&addr) {
+            return;
+        }
+        let has_live_root = closure
+            .live_support()
+            .any(|q| q != vertex && self.is_root(q));
+        if has_live_root {
+            return;
+        }
+        if !self.log.direct_live_entries_resolved(vertex) {
+            // Some inbound path is only known as a placeholder: wait for the
+            // owning site's vector before concluding (safety first).
+            return;
+        }
+        // Garbage detected: the vertex is no longer reachable from any
+        // actual root of the global root graph.
+        self.detected.insert(addr);
+        self.pending_verdicts.push(addr);
+        self.stats.verdicts += 1;
+
+        // Finalisation (§3.2): the GGD algorithm itself sends additional
+        // edge-destruction messages for the out-going edges of the detected
+        // garbage, so that whole disconnected subgraphs collapse without
+        // waiting for local collections.
+        let n = self.bump(vertex);
+        if let Some(targets) = self.edges_out.remove(&vertex) {
+            for target in targets {
+                let to = VertexId::Object(target);
+                self.log
+                    .row_mut(to)
+                    .vector
+                    .set(vertex, Timestamp::destroyed(n));
+                self.stats.edge_destructions += 1;
+                self.queue_destruction(vertex, target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggd_heap::{ObjRef, SiteHeap};
+
+    fn addr(site: u32, obj: u64) -> GlobalAddr {
+        GlobalAddr::new(site, obj)
+    }
+
+    /// Delivers every queued message between two engines until quiescence.
+    fn run_to_quiescence(engines: &mut BTreeMap<SiteId, CausalEngine>) {
+        loop {
+            let mut queued: Vec<Outgoing> = Vec::new();
+            for engine in engines.values_mut() {
+                queued.extend(engine.take_outgoing());
+            }
+            if queued.is_empty() {
+                break;
+            }
+            for out in queued {
+                if let Some(engine) = engines.get_mut(&out.to_site) {
+                    engine.on_message(out.message);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn export_records_placeholder_inbound_edge() {
+        let mut engine = CausalEngine::new(SiteId::new(1));
+        engine.on_export(addr(1, 5), VertexId::site_root(0));
+        let row = engine.log().row(VertexId::object(1, 5)).unwrap();
+        assert!(row.vector.get(VertexId::site_root(0)).is_live());
+        assert!(row.vector.get(VertexId::object(1, 5)).is_live());
+        assert_eq!(engine.stats().lazy_records, 1);
+    }
+
+    #[test]
+    fn third_party_send_records_on_behalf_of_target() {
+        let mut engine = CausalEngine::new(SiteId::new(0));
+        engine.on_third_party_send(addr(3, 1), VertexId::object(4, 1));
+        let row = engine.log().row(VertexId::object(3, 1)).unwrap();
+        assert!(row.vector.get(VertexId::object(4, 1)).is_live());
+        // Local targets are handled by the export rule instead.
+        let mut local = CausalEngine::new(SiteId::new(3));
+        local.on_third_party_send(addr(3, 1), VertexId::object(4, 1));
+        assert!(local
+            .log()
+            .row(VertexId::object(3, 1))
+            .unwrap()
+            .vector
+            .get(VertexId::object(3, 1))
+            .is_live());
+    }
+
+    #[test]
+    fn snapshot_diff_creates_and_destroys_edges() {
+        let site = SiteId::new(0);
+        let mut heap = SiteHeap::new(site);
+        let mut engine = CausalEngine::new(site);
+        let root = heap.alloc_local_root();
+        heap.add_ref(root, ObjRef::Remote(addr(1, 1))).unwrap();
+        engine.apply_snapshot(&heap.snapshot());
+        assert_eq!(engine.stats().edge_creations, 1);
+        assert_eq!(engine.counter(engine.anchor()), 1);
+        // The edge source is an actual root, so its creation is announced.
+        let out = engine.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].message.is_destruction());
+
+        heap.remove_ref(root, ObjRef::Remote(addr(1, 1))).unwrap();
+        engine.apply_snapshot(&heap.snapshot());
+        assert_eq!(engine.stats().edge_destructions, 1);
+        let out = engine.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_site, SiteId::new(1));
+        assert!(out[0].message.is_destruction());
+        assert_eq!(out[0].message.from, engine.anchor());
+    }
+
+    #[test]
+    fn simple_remote_garbage_is_detected() {
+        // Site 0: root -> remote object on site 1. Dropping the reference
+        // must lead site 1 to a garbage verdict for the object.
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        let mut heap0 = SiteHeap::new(s0);
+        let mut heap1 = SiteHeap::new(s1);
+        let mut engines = BTreeMap::new();
+        engines.insert(s0, CausalEngine::new(s0));
+        engines.insert(s1, CausalEngine::new(s1));
+
+        let obj = heap1.alloc();
+        heap1.register_global_root(obj).unwrap();
+        let obj_addr = heap1.addr_of(obj);
+        engines
+            .get_mut(&s1)
+            .unwrap()
+            .on_export(obj_addr, VertexId::SiteRoot(s0));
+        engines.get_mut(&s1).unwrap().apply_snapshot(&heap1.snapshot());
+
+        let root = heap0.alloc_local_root();
+        heap0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        run_to_quiescence(&mut engines);
+        assert!(engines.get_mut(&s1).unwrap().take_verdicts().is_empty());
+
+        heap0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        run_to_quiescence(&mut engines);
+        let verdicts = engines.get_mut(&s1).unwrap().take_verdicts();
+        assert_eq!(verdicts, vec![obj_addr]);
+        assert_eq!(engines[&s1].stats().verdicts, 1);
+    }
+
+    #[test]
+    fn live_object_is_not_declared_garbage_when_another_root_holds_it() {
+        // Two roots (sites 0 and 2) both reference the object on site 1.
+        // Dropping only one of them must not produce a verdict.
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        let s2 = SiteId::new(2);
+        let mut heap0 = SiteHeap::new(s0);
+        let mut heap1 = SiteHeap::new(s1);
+        let mut heap2 = SiteHeap::new(s2);
+        let mut engines = BTreeMap::new();
+        for s in [s0, s1, s2] {
+            engines.insert(s, CausalEngine::new(s));
+        }
+
+        let obj = heap1.alloc();
+        heap1.register_global_root(obj).unwrap();
+        let obj_addr = heap1.addr_of(obj);
+        let e1 = engines.get_mut(&s1).unwrap();
+        e1.on_export(obj_addr, VertexId::SiteRoot(s0));
+        e1.on_export(obj_addr, VertexId::SiteRoot(s2));
+        e1.apply_snapshot(&heap1.snapshot());
+
+        let root0 = heap0.alloc_local_root();
+        heap0.add_ref(root0, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        let root2 = heap2.alloc_local_root();
+        heap2.add_ref(root2, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s2).unwrap().apply_snapshot(&heap2.snapshot());
+        run_to_quiescence(&mut engines);
+
+        heap0.remove_ref(root0, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        run_to_quiescence(&mut engines);
+        assert!(engines.get_mut(&s1).unwrap().take_verdicts().is_empty());
+
+        // Dropping the second root finally makes it garbage.
+        heap2.remove_ref(root2, ObjRef::Remote(obj_addr)).unwrap();
+        engines.get_mut(&s2).unwrap().apply_snapshot(&heap2.snapshot());
+        run_to_quiescence(&mut engines);
+        assert_eq!(
+            engines.get_mut(&s1).unwrap().take_verdicts(),
+            vec![obj_addr]
+        );
+    }
+
+    #[test]
+    fn duplicate_messages_are_idempotent() {
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        let mut heap0 = SiteHeap::new(s0);
+        let mut heap1 = SiteHeap::new(s1);
+        let mut e0 = CausalEngine::new(s0);
+        let mut e1 = CausalEngine::new(s1);
+
+        let obj = heap1.alloc();
+        heap1.register_global_root(obj).unwrap();
+        let obj_addr = heap1.addr_of(obj);
+        e1.on_export(obj_addr, VertexId::SiteRoot(s0));
+        e1.apply_snapshot(&heap1.snapshot());
+
+        let root = heap0.alloc_local_root();
+        heap0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+        heap0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+
+        let out = e0.take_outgoing();
+        assert_eq!(out.len(), 2, "one creation announcement, one destruction");
+        assert!(out.last().unwrap().message.is_destruction());
+        // Deliver every message three times, in order.
+        for _ in 0..3 {
+            for o in &out {
+                e1.on_message(o.message.clone());
+            }
+        }
+        let verdicts = e1.take_verdicts();
+        assert_eq!(verdicts, vec![obj_addr]);
+        assert_eq!(e1.stats().verdicts, 1, "verdict must be produced once");
+    }
+
+    #[test]
+    fn unresolved_placeholder_blocks_verdict() {
+        // Site 1's object was exported to a third party whose vector has
+        // never been seen: even if every known edge is destroyed, the engine
+        // must not conclude garbage while the placeholder is unresolved.
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        let mut heap0 = SiteHeap::new(s0);
+        let mut heap1 = SiteHeap::new(s1);
+        let mut e0 = CausalEngine::new(s0);
+        let mut e1 = CausalEngine::new(s1);
+
+        let obj = heap1.alloc();
+        heap1.register_global_root(obj).unwrap();
+        let obj_addr = heap1.addr_of(obj);
+        e1.on_export(obj_addr, VertexId::SiteRoot(s0));
+        // The object's reference was also exported to site 9, whose vector
+        // never arrives (e.g. it is slow or partitioned away).
+        e1.on_export(obj_addr, VertexId::object(9, 1));
+        e1.apply_snapshot(&heap1.snapshot());
+
+        let root = heap0.alloc_local_root();
+        heap0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+        heap0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+        for out in e0.take_outgoing() {
+            e1.on_message(out.message);
+        }
+        // Deliver a duplicate as well so the "no change" path is exercised.
+        assert!(e1.take_verdicts().is_empty());
+    }
+
+    #[test]
+    fn misrouted_message_is_ignored() {
+        let mut engine = CausalEngine::new(SiteId::new(0));
+        engine.on_message(CausalMessage {
+            from: VertexId::site_root(1),
+            to: VertexId::object(5, 1),
+            payload: RootedVector::new(),
+        });
+        assert!(engine.take_verdicts().is_empty());
+        assert!(!engine.has_outgoing());
+        assert_eq!(engine.stats().messages_received, 1);
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        assert!(!EngineStats::default().to_string().is_empty());
+    }
+}

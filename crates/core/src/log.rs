@@ -1,0 +1,378 @@
+//! The per-site log `DK` of dependency vectors and the root knowledge that
+//! travels with them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ggd_types::{DependencyVector, VertexId};
+
+/// A dependency vector bundled with *root knowledge*: for each vertex it
+/// mentions, whether that vertex was an actual root of the global root graph
+/// as of the vertex's own event counter.
+///
+/// The paper's garbage test (Fig. 6) needs the predicate `root(k)` to be
+/// evaluable wherever the test runs. Site-root anchors are roots by
+/// construction; for global roots that are (dynamically) reachable from
+/// their own site's local root set, the status is stamped by the hosting
+/// site and carried with every vector so that the knowledge arrives no later
+/// than the entries that depend on it. Newer stamps (higher `as_of` event
+/// index) supersede older ones, so losing local-rootedness eventually
+/// propagates too.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RootedVector {
+    /// The dependency vector itself.
+    pub vector: DependencyVector,
+    /// Root-status stamps: vertex → (as-of event index, is-actual-root).
+    pub root_flags: BTreeMap<VertexId, (u64, bool)>,
+}
+
+impl RootedVector {
+    /// Creates an empty vector with no root knowledge.
+    pub fn new() -> Self {
+        RootedVector::default()
+    }
+
+    /// Creates a rooted vector from its parts.
+    pub fn from_vector(vector: DependencyVector) -> Self {
+        RootedVector {
+            vector,
+            root_flags: BTreeMap::new(),
+        }
+    }
+
+    /// Records a root-status stamp, keeping the most recent one.
+    pub fn stamp_root(&mut self, vertex: VertexId, as_of: u64, is_root: bool) -> bool {
+        match self.root_flags.get(&vertex) {
+            Some(&(existing, _)) if existing >= as_of => false,
+            _ => {
+                self.root_flags.insert(vertex, (as_of, is_root));
+                true
+            }
+        }
+    }
+
+    /// Merges another rooted vector into this one (vector join plus
+    /// freshest-stamp-wins root knowledge). Returns whether anything changed.
+    pub fn merge(&mut self, other: &RootedVector) -> bool {
+        let mut changed = self.vector.merge(&other.vector);
+        for (&vertex, &(as_of, is_root)) in &other.root_flags {
+            changed |= self.stamp_root(vertex, as_of, is_root);
+        }
+        changed
+    }
+
+    /// True when, according to the freshest knowledge held here, `vertex` is
+    /// an actual root of the global root graph. Site-root anchors are always
+    /// actual roots.
+    pub fn is_root(&self, vertex: VertexId) -> bool {
+        if vertex.is_site_root() {
+            return true;
+        }
+        self.root_flags
+            .get(&vertex)
+            .map(|&(_, is_root)| is_root)
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for RootedVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vector)?;
+        let roots: Vec<String> = self
+            .root_flags
+            .iter()
+            .filter(|(_, &(_, r))| r)
+            .map(|(v, _)| v.to_string())
+            .collect();
+        if !roots.is_empty() {
+            write!(f, " roots[{}]", roots.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's per-vertex log `DK`: for every vertex of the global root
+/// graph this site has heard of, the best locally-held approximation of the
+/// dependency vector of that vertex's latest log-keeping event (§3.3, item 1
+/// of the algorithm summary).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DkLog {
+    rows: BTreeMap<VertexId, RootedVector>,
+    root_flags: BTreeMap<VertexId, (u64, bool)>,
+}
+
+impl DkLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        DkLog::default()
+    }
+
+    /// Read access to the row held for `vertex` (empty if never touched).
+    pub fn row(&self, vertex: VertexId) -> Option<&RootedVector> {
+        self.rows.get(&vertex)
+    }
+
+    /// Mutable access to the row held for `vertex`, creating it if needed.
+    pub fn row_mut(&mut self, vertex: VertexId) -> &mut RootedVector {
+        self.rows.entry(vertex).or_default()
+    }
+
+    /// Iterates over all rows in key order.
+    pub fn rows(&self) -> impl Iterator<Item = (VertexId, &RootedVector)> {
+        self.rows.iter().map(|(&v, r)| (v, r))
+    }
+
+    /// Number of rows currently held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the log holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Records a root-status stamp in the log-wide root knowledge.
+    pub fn stamp_root(&mut self, vertex: VertexId, as_of: u64, is_root: bool) -> bool {
+        match self.root_flags.get(&vertex) {
+            Some(&(existing, _)) if existing >= as_of => false,
+            _ => {
+                self.root_flags.insert(vertex, (as_of, is_root));
+                true
+            }
+        }
+    }
+
+    /// Merges the root knowledge carried by an incoming vector.
+    pub fn absorb_root_flags(&mut self, incoming: &RootedVector) -> bool {
+        let mut changed = false;
+        for (&vertex, &(as_of, is_root)) in &incoming.root_flags {
+            changed |= self.stamp_root(vertex, as_of, is_root);
+        }
+        changed
+    }
+
+    /// True when `vertex` is, per the freshest knowledge in this log, an
+    /// actual root of the global root graph.
+    pub fn is_root(&self, vertex: VertexId) -> bool {
+        if vertex.is_site_root() {
+            return true;
+        }
+        self.root_flags
+            .get(&vertex)
+            .map(|&(_, is_root)| is_root)
+            .unwrap_or(false)
+    }
+
+    /// The current root-status stamps (used when building outgoing vectors).
+    pub fn root_flags(&self) -> &BTreeMap<VertexId, (u64, bool)> {
+        &self.root_flags
+    }
+
+    /// The paper's `ComputeV` (Fig. 6): reconstructs the best currently
+    /// reconstructible approximation of the full vector-time of `vertex`'s
+    /// latest log-keeping event by transitively expanding the locally held
+    /// rows. The expansion only recurses through *live* entries (destroyed
+    /// entries stop the recursion, exactly as the `¬A(α)` guard does in the
+    /// paper), but the destroyed entries encountered along the way are kept
+    /// in the result as tombstones: propagated vectors must carry
+    /// destruction news, otherwise stale live entries held by other sites
+    /// could never be revoked (the receiving side merges monotonically).
+    pub fn closure(&self, vertex: VertexId) -> DependencyVector {
+        let mut v = DependencyVector::new();
+        let mut expanded = std::collections::BTreeSet::new();
+        let mut stack: Vec<VertexId> = vec![vertex];
+        while let Some(p) = stack.pop() {
+            if !expanded.insert(p) {
+                continue;
+            }
+            let Some(row) = self.rows.get(&p) else {
+                continue;
+            };
+            for (q, ts) in row.vector.iter() {
+                v.merge_entry(q, ts);
+                if v.get(q).is_live() && !expanded.contains(&q) {
+                    stack.push(q);
+                }
+            }
+        }
+        // The subject's own entry reflects its own latest event, never a
+        // second-hand one.
+        if let Some(row) = self.rows.get(&vertex) {
+            v.set(vertex, row.vector.get(vertex));
+        }
+        v
+    }
+
+    /// True when every live, non-root *direct* in-edge entry recorded in the
+    /// subject's own row is *resolved*: the log holds at least some shipped
+    /// knowledge of that neighbour's dependency vector, rather than only a
+    /// bare lazy placeholder created at export time. Unresolved direct
+    /// entries veto a garbage verdict (safety first: wait until the holder
+    /// of the inbound path has been heard from at least once). Transitive
+    /// entries need no separate resolution — they were, by construction,
+    /// taken from a neighbour's shipped vector.
+    pub fn direct_live_entries_resolved(&self, subject: VertexId) -> bool {
+        let Some(row) = self.rows.get(&subject) else {
+            return true;
+        };
+        row.vector
+            .iter()
+            .filter(|(q, ts)| *q != subject && ts.is_live() && !self.is_root(*q))
+            .all(|(q, _)| {
+                self.rows
+                    .get(&q)
+                    .map(|r| !r.vector.is_empty())
+                    .unwrap_or(false)
+            })
+    }
+}
+
+impl fmt::Display for DkLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (vertex, row) in &self.rows {
+            writeln!(f, "DK[{vertex}] = {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggd_types::Timestamp;
+
+    fn v(site: u32, obj: u64) -> VertexId {
+        VertexId::object(site, obj)
+    }
+
+    #[test]
+    fn rooted_vector_merges_and_stamps() {
+        let mut a = RootedVector::new();
+        a.vector.set(v(1, 1), Timestamp::created(1));
+        assert!(a.stamp_root(v(1, 1), 1, true));
+        assert!(!a.stamp_root(v(1, 1), 1, false)); // stale stamp ignored
+        assert!(a.is_root(v(1, 1)));
+        assert!(a.is_root(VertexId::site_root(7)));
+        assert!(!a.is_root(v(2, 2)));
+
+        let mut b = RootedVector::new();
+        b.vector.set(v(2, 2), Timestamp::created(3));
+        b.stamp_root(v(1, 1), 5, false);
+        assert!(a.merge(&b));
+        assert!(!a.is_root(v(1, 1))); // newer stamp wins
+        assert_eq!(a.vector.get(v(2, 2)), Timestamp::created(3));
+        assert!(!a.merge(&b));
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn closure_expands_transitively_through_live_entries() {
+        let mut log = DkLog::new();
+        // c's row: b reaches c.
+        log.row_mut(v(3, 1))
+            .vector
+            .set(v(2, 1), Timestamp::created(1));
+        log.row_mut(v(3, 1))
+            .vector
+            .set(v(3, 1), Timestamp::created(2));
+        // b's row: a reaches b.
+        log.row_mut(v(2, 1))
+            .vector
+            .set(v(1, 1), Timestamp::created(4));
+        log.row_mut(v(2, 1))
+            .vector
+            .set(v(2, 1), Timestamp::created(1));
+
+        let closure = log.closure(v(3, 1));
+        assert_eq!(closure.get(v(3, 1)), Timestamp::created(2));
+        assert_eq!(closure.get(v(2, 1)), Timestamp::created(1));
+        assert_eq!(closure.get(v(1, 1)), Timestamp::created(4));
+    }
+
+    #[test]
+    fn closure_stops_at_destroyed_entries() {
+        let mut log = DkLog::new();
+        log.row_mut(v(3, 1))
+            .vector
+            .set(v(2, 1), Timestamp::destroyed(5));
+        log.row_mut(v(2, 1))
+            .vector
+            .set(v(1, 1), Timestamp::created(1));
+        let closure = log.closure(v(3, 1));
+        // The destroyed entry is kept as a tombstone but not expanded, so
+        // nothing reachable only through it contributes a live path.
+        assert_eq!(closure.get(v(2, 1)), Timestamp::destroyed(5));
+        assert_eq!(closure.get(v(1, 1)), Timestamp::Never);
+        assert!(closure.live_support().count() == 0);
+    }
+
+    #[test]
+    fn closure_terminates_on_cycles() {
+        let mut log = DkLog::new();
+        log.row_mut(v(1, 1))
+            .vector
+            .set(v(2, 1), Timestamp::created(1));
+        log.row_mut(v(2, 1))
+            .vector
+            .set(v(1, 1), Timestamp::created(1));
+        let closure = log.closure(v(1, 1));
+        assert!(closure.get(v(2, 1)).is_live());
+        assert!(closure.get(v(1, 1)).is_live() || closure.get(v(1, 1)) == Timestamp::Never);
+    }
+
+    #[test]
+    fn resolution_requires_knowledge_of_direct_neighbours() {
+        let mut log = DkLog::new();
+        // Subject t has a live placeholder for q but q's row is unknown.
+        let t = v(2, 1);
+        let q = v(3, 1);
+        log.row_mut(t).vector.set(q, Timestamp::created(1));
+        log.row_mut(t).vector.set(t, Timestamp::created(1));
+        assert!(!log.direct_live_entries_resolved(t));
+        // Once anything of q's vector is known the entry is resolved.
+        log.row_mut(q).vector.set(v(1, 1), Timestamp::created(1));
+        assert!(log.direct_live_entries_resolved(t));
+        // Destroyed or root-keyed entries never block resolution.
+        log.row_mut(t).vector.set(v(4, 1), Timestamp::destroyed(2));
+        log.row_mut(t)
+            .vector
+            .set(VertexId::site_root(0), Timestamp::created(1));
+        assert!(log.direct_live_entries_resolved(t));
+        // A vertex with no row at all is trivially resolved.
+        assert!(log.direct_live_entries_resolved(v(9, 9)));
+    }
+
+    #[test]
+    fn log_level_root_knowledge() {
+        let mut log = DkLog::new();
+        assert!(log.is_root(VertexId::site_root(0)));
+        assert!(!log.is_root(v(1, 1)));
+        assert!(log.stamp_root(v(1, 1), 3, true));
+        assert!(log.is_root(v(1, 1)));
+        assert!(!log.stamp_root(v(1, 1), 2, false));
+        assert!(log.is_root(v(1, 1)));
+        assert!(log.stamp_root(v(1, 1), 4, false));
+        assert!(!log.is_root(v(1, 1)));
+
+        let mut incoming = RootedVector::new();
+        incoming.stamp_root(v(1, 1), 9, true);
+        assert!(log.absorb_root_flags(&incoming));
+        assert!(log.is_root(v(1, 1)));
+        assert_eq!(log.root_flags().len(), 1);
+    }
+
+    #[test]
+    fn display_and_size() {
+        let mut log = DkLog::new();
+        assert!(log.is_empty());
+        log.row_mut(v(1, 1)).vector.set(v(1, 1), Timestamp::created(1));
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+        assert!(log.to_string().contains("DK[s1/o1]"));
+        assert!(log.row(v(1, 1)).is_some());
+        assert!(log.row(v(9, 9)).is_none());
+        assert_eq!(log.rows().count(), 1);
+    }
+}

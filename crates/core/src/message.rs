@@ -1,0 +1,124 @@
+//! The single GGD control-message format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use ggd_net::{MessageClass, Payload};
+use ggd_types::VertexId;
+
+use crate::log::RootedVector;
+
+/// A GGD control message travelling along an edge of the global root graph,
+/// from vertex [`from`](CausalMessage::from) to vertex
+/// [`to`](CausalMessage::to).
+///
+/// The paper distinguishes two conceptual kinds of log-keeping control
+/// message (§3.1). Both share this representation:
+///
+/// * **edge-destruction** — the payload's entry for `from` is absent or
+///   destroyed (`Ē`): the sender no longer holds an edge to the recipient.
+///   Any other (live) entries in the payload are the bundled, lazily logged
+///   edge-creation news the sender recorded on the recipient's behalf
+///   (§3.4: "multiple edge-creation control messages can be bundled with an
+///   edge-destruction control message in one atomic delivery").
+/// * **propagation** — the payload's entry for `from` is live: the sender is
+///   circulating its own, newly improved dependency vector along its
+///   out-going edges so the recipient can tighten its reconstruction of its
+///   vector-time (step 3 of the algorithm, §3.3).
+///
+/// GGD messages are idempotent: delivering the same message twice merges the
+/// same knowledge twice, which the receiving engine detects as "no change".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalMessage {
+    /// The vertex the message conceptually originates from.
+    pub from: VertexId,
+    /// The vertex the message is addressed to (always hosted by the
+    /// destination site).
+    pub to: VertexId,
+    /// The dependency vector (plus root knowledge) being shipped.
+    pub payload: RootedVector,
+}
+
+impl CausalMessage {
+    /// True when this is an edge-destruction control message.
+    pub fn is_destruction(&self) -> bool {
+        !self.payload.vector.get(self.from).is_live()
+    }
+}
+
+impl fmt::Display for CausalMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_destruction() {
+            "destroy"
+        } else {
+            "propagate"
+        };
+        write!(f, "{kind} {} -> {}: {}", self.from, self.to, self.payload)
+    }
+}
+
+impl Payload for CausalMessage {
+    fn class(&self) -> MessageClass {
+        MessageClass::Control
+    }
+
+    fn label(&self) -> &'static str {
+        if self.is_destruction() {
+            "edge-destruction"
+        } else {
+            "vector-propagation"
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        // Rough wire size: one (vertex id, timestamp) pair per entry plus
+        // the root stamps and the two endpoint ids.
+        32 + 24 * self.payload.vector.len() + 16 * self.payload.root_flags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggd_types::Timestamp;
+
+    fn v(site: u32, obj: u64) -> VertexId {
+        VertexId::object(site, obj)
+    }
+
+    #[test]
+    fn kind_is_derived_from_the_sender_entry() {
+        let mut payload = RootedVector::new();
+        payload.vector.set(v(1, 1), Timestamp::created(2));
+        let prop = CausalMessage {
+            from: v(1, 1),
+            to: v(2, 1),
+            payload: payload.clone(),
+        };
+        assert!(!prop.is_destruction());
+        assert_eq!(prop.label(), "vector-propagation");
+        assert_eq!(prop.class(), MessageClass::Control);
+        assert!(prop.to_string().contains("propagate"));
+
+        payload.vector.set(v(1, 1), Timestamp::destroyed(3));
+        let destroy = CausalMessage {
+            from: v(1, 1),
+            to: v(2, 1),
+            payload,
+        };
+        assert!(destroy.is_destruction());
+        assert_eq!(destroy.label(), "edge-destruction");
+        assert!(destroy.to_string().contains("destroy"));
+        assert!(destroy.size_hint() > 32);
+    }
+
+    #[test]
+    fn missing_sender_entry_counts_as_destruction() {
+        let msg = CausalMessage {
+            from: v(1, 1),
+            to: v(2, 1),
+            payload: RootedVector::new(),
+        };
+        assert!(msg.is_destruction());
+    }
+}

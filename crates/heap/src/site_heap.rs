@@ -1,0 +1,514 @@
+//! The per-site heap: allocation, mutation, root management and the
+//! bookkeeping needed by both local GC and global garbage detection.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ggd_types::{GlobalAddr, ObjectId, SiteId};
+
+use crate::collect::HeapStats;
+use crate::object::{HeapObject, ObjRef};
+
+/// Errors returned by heap mutation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// The named object does not exist (never allocated, or already collected).
+    UnknownObject(ObjectId),
+    /// A reference to an object of another site was passed where a local
+    /// object of this site was expected.
+    ForeignAddress(GlobalAddr),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            HeapError::ForeignAddress(addr) => {
+                write!(f, "address {addr} does not belong to this site")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The heap of one site of the distributed system.
+///
+/// The heap tracks three root-related sets, mirroring §2.1 of the paper:
+///
+/// * the **local root set** — objects designated as roots by the
+///   application (`alloc_local_root`, `add_local_root`);
+/// * the **global root set** — objects whose references have crossed the
+///   site boundary and that must conservatively be treated as roots until
+///   global garbage detection proves otherwise (`register_global_root`,
+///   `unregister_global_root`);
+/// * implicitly, the **actual root set** — local roots plus the global
+///   roots that really are still remotely referenced; only GGD can compute
+///   it, which is precisely the paper's point.
+///
+/// See the crate-level documentation for a usage example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteHeap {
+    site: SiteId,
+    objects: BTreeMap<ObjectId, HeapObject>,
+    local_roots: BTreeSet<ObjectId>,
+    global_roots: BTreeSet<ObjectId>,
+    next_object: u64,
+    stats: HeapStats,
+}
+
+impl SiteHeap {
+    /// Creates an empty heap for `site`.
+    pub fn new(site: SiteId) -> Self {
+        SiteHeap {
+            site,
+            objects: BTreeMap::new(),
+            local_roots: BTreeSet::new(),
+            global_roots: BTreeSet::new(),
+            next_object: 1,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The site this heap belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Allocates a fresh, unrooted, empty object.
+    pub fn alloc(&mut self) -> ObjectId {
+        let id = ObjectId::new(self.next_object);
+        self.next_object += 1;
+        self.objects.insert(id, HeapObject::new(id));
+        self.stats.allocated += 1;
+        id
+    }
+
+    /// Allocates a fresh object and designates it a local root.
+    pub fn alloc_local_root(&mut self) -> ObjectId {
+        let id = self.alloc();
+        self.local_roots.insert(id);
+        id
+    }
+
+    /// The global address of a local object.
+    pub fn addr_of(&self, id: ObjectId) -> GlobalAddr {
+        GlobalAddr::from_parts(self.site, id)
+    }
+
+    /// The local identity behind a global address, when it names this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::ForeignAddress`] for addresses of other sites.
+    pub fn local_id(&self, addr: GlobalAddr) -> Result<ObjectId, HeapError> {
+        if addr.site() == self.site {
+            Ok(addr.object())
+        } else {
+            Err(HeapError::ForeignAddress(addr))
+        }
+    }
+
+    /// True when the object currently exists on this heap.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Read access to an object.
+    pub fn object(&self, id: ObjectId) -> Option<&HeapObject> {
+        self.objects.get(&id)
+    }
+
+    /// Number of live (not yet collected) objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the heap holds no objects at all.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over all objects in identity order.
+    pub fn iter(&self) -> impl Iterator<Item = &HeapObject> {
+        self.objects.values()
+    }
+
+    /// Allocation and collection statistics.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Roots
+    // ------------------------------------------------------------------
+
+    /// The designated local roots.
+    pub fn local_roots(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.local_roots.iter().copied()
+    }
+
+    /// The current (conservative) global root set.
+    pub fn global_roots(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.global_roots.iter().copied()
+    }
+
+    /// Designates an existing object as a local root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when the object does not exist.
+    pub fn add_local_root(&mut self, id: ObjectId) -> Result<(), HeapError> {
+        self.ensure_exists(id)?;
+        self.local_roots.insert(id);
+        Ok(())
+    }
+
+    /// Removes an object from the local root set. The object itself is not
+    /// touched; the next collection may reclaim it if nothing else keeps it.
+    pub fn remove_local_root(&mut self, id: ObjectId) -> bool {
+        self.local_roots.remove(&id)
+    }
+
+    /// True when the object is currently a designated local root.
+    pub fn is_local_root(&self, id: ObjectId) -> bool {
+        self.local_roots.contains(&id)
+    }
+
+    /// Registers an object in the global root set: some reference to it has
+    /// crossed the site boundary, so local GC must treat it as a root until
+    /// GGD proves it is no longer remotely reachable.
+    ///
+    /// Registration is idempotent; the return value says whether the object
+    /// was newly registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when the object does not exist.
+    pub fn register_global_root(&mut self, id: ObjectId) -> Result<bool, HeapError> {
+        self.ensure_exists(id)?;
+        Ok(self.global_roots.insert(id))
+    }
+
+    /// Removes an object from the global root set — the outcome of a GGD
+    /// verdict ("no longer remotely reachable"). The object may well survive
+    /// the next local collection through local roots; that is the expected
+    /// division of labour (§2.2).
+    pub fn unregister_global_root(&mut self, id: ObjectId) -> bool {
+        self.global_roots.remove(&id)
+    }
+
+    /// True when the object is currently in the global root set.
+    pub fn is_global_root(&self, id: ObjectId) -> bool {
+        self.global_roots.contains(&id)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Adds a reference from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when `from` does not exist, or
+    /// when `to` is a local reference to an object that does not exist.
+    pub fn add_ref(&mut self, from: ObjectId, to: ObjRef) -> Result<(), HeapError> {
+        if let ObjRef::Local(target) = to {
+            self.ensure_exists(target)?;
+        }
+        let obj = self
+            .objects
+            .get_mut(&from)
+            .ok_or(HeapError::UnknownObject(from))?;
+        obj.push_ref(to);
+        Ok(())
+    }
+
+    /// Removes one occurrence of the reference `to` from `from`.
+    ///
+    /// Returns whether a matching slot was found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when `from` does not exist.
+    pub fn remove_ref(&mut self, from: ObjectId, to: ObjRef) -> Result<bool, HeapError> {
+        let obj = self
+            .objects
+            .get_mut(&from)
+            .ok_or(HeapError::UnknownObject(from))?;
+        Ok(obj.remove_ref(to))
+    }
+
+    /// Clears every reference held by `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when `from` does not exist.
+    pub fn clear_refs(&mut self, from: ObjectId) -> Result<(), HeapError> {
+        let obj = self
+            .objects
+            .get_mut(&from)
+            .ok_or(HeapError::UnknownObject(from))?;
+        obj.clear_refs();
+        Ok(())
+    }
+
+    /// Stores an incoming reference (delivered by a mutator message) into a
+    /// slot of the receiving object. References to objects of this site are
+    /// stored as local references; references to other sites become proxies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownObject`] when the recipient does not
+    /// exist (e.g. it was collected while the message was in flight).
+    pub fn receive_ref(&mut self, recipient: ObjectId, addr: GlobalAddr) -> Result<(), HeapError> {
+        let reference = if addr.site() == self.site {
+            ObjRef::Local(addr.object())
+        } else {
+            ObjRef::Remote(addr)
+        };
+        // An incoming local reference may name an object that has already
+        // been collected; surface that as UnknownObject so the caller can
+        // decide (the simulator treats it as a safety violation).
+        if let ObjRef::Local(target) = reference {
+            self.ensure_exists(target)?;
+        }
+        self.add_ref(recipient, reference)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries used by GGD
+    // ------------------------------------------------------------------
+
+    /// Every remote address referenced from anywhere on this heap (live or
+    /// not): the site's outbound proxies.
+    pub fn remote_targets(&self) -> BTreeSet<GlobalAddr> {
+        self.objects
+            .values()
+            .flat_map(|o| o.remote_refs())
+            .collect()
+    }
+
+    /// The set of objects reachable from the given seed objects by following
+    /// local references only.
+    pub fn reachable_from<I>(&self, seeds: I) -> BTreeSet<ObjectId>
+    where
+        I: IntoIterator<Item = ObjectId>,
+    {
+        let mut visited = BTreeSet::new();
+        let mut stack: Vec<ObjectId> = seeds
+            .into_iter()
+            .filter(|id| self.objects.contains_key(id))
+            .collect();
+        while let Some(id) = stack.pop() {
+            if !visited.insert(id) {
+                continue;
+            }
+            if let Some(obj) = self.objects.get(&id) {
+                for next in obj.local_refs() {
+                    if self.objects.contains_key(&next) && !visited.contains(&next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// The remote addresses reachable from the given seed objects by
+    /// following local references (the outbound edges those seeds contribute
+    /// to the global root graph).
+    pub fn remote_reachable_from<I>(&self, seeds: I) -> BTreeSet<GlobalAddr>
+    where
+        I: IntoIterator<Item = ObjectId>,
+    {
+        let reachable = self.reachable_from(seeds);
+        reachable
+            .iter()
+            .filter_map(|id| self.objects.get(id))
+            .flat_map(|o| o.remote_refs())
+            .collect()
+    }
+
+    pub(crate) fn ensure_exists(&self, id: ObjectId) -> Result<(), HeapError> {
+        if self.objects.contains_key(&id) {
+            Ok(())
+        } else {
+            Err(HeapError::UnknownObject(id))
+        }
+    }
+
+    pub(crate) fn objects_mut(&mut self) -> &mut BTreeMap<ObjectId, HeapObject> {
+        &mut self.objects
+    }
+
+    pub(crate) fn objects_ref(&self) -> &BTreeMap<ObjectId, HeapObject> {
+        &self.objects
+    }
+
+    pub(crate) fn local_root_set(&self) -> &BTreeSet<ObjectId> {
+        &self.local_roots
+    }
+
+    pub(crate) fn global_root_set(&self) -> &BTreeSet<ObjectId> {
+        &self.global_roots
+    }
+
+    pub(crate) fn roots_for_local_gc(&self) -> BTreeSet<ObjectId> {
+        self.local_roots
+            .union(&self.global_roots)
+            .copied()
+            .collect()
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut HeapStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn drop_roots_of_collected(&mut self, freed: &BTreeSet<ObjectId>) {
+        for id in freed {
+            self.local_roots.remove(id);
+            self.global_roots.remove(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> SiteHeap {
+        SiteHeap::new(SiteId::new(0))
+    }
+
+    #[test]
+    fn alloc_assigns_fresh_ids() {
+        let mut h = heap();
+        let a = h.alloc();
+        let b = h.alloc();
+        assert_ne!(a, b);
+        assert!(h.contains(a) && h.contains(b));
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert_eq!(h.stats().allocated, 2);
+        assert_eq!(h.site(), SiteId::new(0));
+    }
+
+    #[test]
+    fn addresses_round_trip() {
+        let mut h = heap();
+        let a = h.alloc();
+        let addr = h.addr_of(a);
+        assert_eq!(addr.site(), SiteId::new(0));
+        assert_eq!(h.local_id(addr).unwrap(), a);
+        let foreign = GlobalAddr::new(9, 1);
+        assert_eq!(
+            h.local_id(foreign).unwrap_err(),
+            HeapError::ForeignAddress(foreign)
+        );
+    }
+
+    #[test]
+    fn root_management() {
+        let mut h = heap();
+        let r = h.alloc_local_root();
+        let g = h.alloc();
+        assert!(h.is_local_root(r));
+        assert!(!h.is_local_root(g));
+        assert!(h.register_global_root(g).unwrap());
+        assert!(!h.register_global_root(g).unwrap());
+        assert!(h.is_global_root(g));
+        assert!(h.unregister_global_root(g));
+        assert!(!h.is_global_root(g));
+        assert!(h.remove_local_root(r));
+        assert!(!h.remove_local_root(r));
+        assert_eq!(
+            h.add_local_root(ObjectId::new(99)).unwrap_err(),
+            HeapError::UnknownObject(ObjectId::new(99))
+        );
+    }
+
+    #[test]
+    fn add_and_remove_refs() {
+        let mut h = heap();
+        let a = h.alloc();
+        let b = h.alloc();
+        h.add_ref(a, ObjRef::Local(b)).unwrap();
+        h.add_ref(a, ObjRef::Remote(GlobalAddr::new(2, 1))).unwrap();
+        assert_eq!(h.object(a).unwrap().slot_count(), 2);
+        assert!(h.remove_ref(a, ObjRef::Local(b)).unwrap());
+        assert!(!h.remove_ref(a, ObjRef::Local(b)).unwrap());
+        h.clear_refs(a).unwrap();
+        assert_eq!(h.object(a).unwrap().slot_count(), 0);
+        assert!(matches!(
+            h.add_ref(a, ObjRef::Local(ObjectId::new(77))),
+            Err(HeapError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            h.add_ref(ObjectId::new(77), ObjRef::Local(b)),
+            Err(HeapError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn receive_ref_localises_same_site_addresses() {
+        let mut h = heap();
+        let a = h.alloc();
+        let b = h.alloc();
+        h.receive_ref(a, h.addr_of(b)).unwrap();
+        h.receive_ref(a, GlobalAddr::new(7, 3)).unwrap();
+        let obj = h.object(a).unwrap();
+        assert!(obj.holds(ObjRef::Local(b)));
+        assert!(obj.holds(ObjRef::Remote(GlobalAddr::new(7, 3))));
+        let dangling = GlobalAddr::from_parts(h.site(), ObjectId::new(99));
+        assert!(h.receive_ref(a, dangling).is_err());
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let mut h = heap();
+        let a = h.alloc_local_root();
+        let b = h.alloc();
+        let c = h.alloc();
+        let d = h.alloc(); // unreachable
+        h.add_ref(a, ObjRef::Local(b)).unwrap();
+        h.add_ref(b, ObjRef::Local(c)).unwrap();
+        h.add_ref(c, ObjRef::Remote(GlobalAddr::new(1, 1))).unwrap();
+        h.add_ref(d, ObjRef::Remote(GlobalAddr::new(2, 2))).unwrap();
+
+        let reach = h.reachable_from([a]);
+        assert!(reach.contains(&a) && reach.contains(&b) && reach.contains(&c));
+        assert!(!reach.contains(&d));
+
+        let remote = h.remote_reachable_from([a]);
+        assert_eq!(remote.len(), 1);
+        assert!(remote.contains(&GlobalAddr::new(1, 1)));
+
+        let all_remote = h.remote_targets();
+        assert_eq!(all_remote.len(), 2);
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let mut h = heap();
+        let a = h.alloc_local_root();
+        let b = h.alloc();
+        h.add_ref(a, ObjRef::Local(b)).unwrap();
+        h.add_ref(b, ObjRef::Local(a)).unwrap();
+        let reach = h.reachable_from([a]);
+        assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!HeapError::UnknownObject(ObjectId::new(1))
+            .to_string()
+            .is_empty());
+        assert!(!HeapError::ForeignAddress(GlobalAddr::new(1, 1))
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Reachability snapshots: the site-local view of the global root graph.
+//!
+//! The vertices a site contributes to the global root graph are its
+//! actual-root anchor (standing for the local root set, §2.2) and each of
+//! its global roots. The out-going edges of those vertices are the remote
+//! objects reachable from them through the local object graph ("every
+//! outgoing path from a global root which crosses its site boundary becomes
+//! a single edge in the global root graph"). A [`ReachabilitySnapshot`]
+//! captures those edges at one instant; diffing two successive snapshots
+//! yields the *edge-creation* and *edge-destruction* log-keeping events that
+//! drive the GGD algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ggd_types::{GlobalAddr, ObjectId, SiteId, VertexId};
+
+use crate::site_heap::SiteHeap;
+
+/// A point-in-time view of the edges this site contributes to the global
+/// root graph, plus the local-rootedness of its global roots.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReachabilitySnapshot {
+    site: SiteId,
+    from_local_roots: BTreeSet<GlobalAddr>,
+    per_global_root: BTreeMap<ObjectId, BTreeSet<GlobalAddr>>,
+    locally_rooted_global_roots: BTreeSet<ObjectId>,
+}
+
+impl ReachabilitySnapshot {
+    /// The site the snapshot was taken on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// True when the site's local root set reaches `addr` (an edge from the
+    /// actual-root anchor vertex).
+    pub fn root_reaches(&self, addr: GlobalAddr) -> bool {
+        self.from_local_roots.contains(&addr)
+    }
+
+    /// True when global root `id` reaches `addr`.
+    pub fn global_root_reaches(&self, id: ObjectId, addr: GlobalAddr) -> bool {
+        self.per_global_root
+            .get(&id)
+            .map(|targets| targets.contains(&addr))
+            .unwrap_or(false)
+    }
+
+    /// The global roots present in this snapshot.
+    pub fn global_roots(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.per_global_root.keys().copied()
+    }
+
+    /// True when the global root is also reachable from the site's local
+    /// roots — i.e. it belongs to the site's *actual* root set regardless of
+    /// remote reachability.
+    pub fn is_locally_rooted(&self, id: ObjectId) -> bool {
+        self.locally_rooted_global_roots.contains(&id)
+    }
+
+    /// Every edge of the global root graph contributed by this site, as
+    /// `(source vertex, target object)` pairs.
+    pub fn edges(&self) -> BTreeSet<(VertexId, GlobalAddr)> {
+        let mut edges = BTreeSet::new();
+        for &target in &self.from_local_roots {
+            edges.insert((VertexId::SiteRoot(self.site), target));
+        }
+        for (&id, targets) in &self.per_global_root {
+            let source = VertexId::Object(GlobalAddr::from_parts(self.site, id));
+            for &target in targets {
+                edges.insert((source, target));
+            }
+        }
+        edges
+    }
+
+    /// The out-going edges of one vertex hosted by this site.
+    pub fn edges_of(&self, vertex: VertexId) -> BTreeSet<GlobalAddr> {
+        match vertex {
+            VertexId::SiteRoot(site) if site == self.site => self.from_local_roots.clone(),
+            VertexId::Object(addr) if addr.site() == self.site => self
+                .per_global_root
+                .get(&addr.object())
+                .cloned()
+                .unwrap_or_default(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Total number of edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.from_local_roots.len()
+            + self
+                .per_global_root
+                .values()
+                .map(|targets| targets.len())
+                .sum::<usize>()
+    }
+
+    /// Computes the edge-level difference `self → newer`.
+    pub fn diff(&self, newer: &ReachabilitySnapshot) -> EdgeDiff {
+        let old_edges = self.edges();
+        let new_edges = newer.edges();
+        EdgeDiff {
+            created: new_edges.difference(&old_edges).copied().collect(),
+            destroyed: old_edges.difference(&new_edges).copied().collect(),
+        }
+    }
+}
+
+impl fmt::Display for ReachabilitySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "snapshot of {}:", self.site)?;
+        for (source, target) in self.edges() {
+            writeln!(f, "  {source} -> {target}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The edge-creation and edge-destruction events implied by two successive
+/// snapshots of the same site.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EdgeDiff {
+    /// Edges present in the newer snapshot but not the older one.
+    pub created: Vec<(VertexId, GlobalAddr)>,
+    /// Edges present in the older snapshot but not the newer one.
+    pub destroyed: Vec<(VertexId, GlobalAddr)>,
+}
+
+impl EdgeDiff {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty() && self.destroyed.is_empty()
+    }
+}
+
+impl SiteHeap {
+    /// Takes a reachability snapshot of this site: which remote objects are
+    /// reachable from the local root set and from each global root.
+    pub fn snapshot(&self) -> ReachabilitySnapshot {
+        let locally_reachable = self.locally_rooted();
+        let from_local_roots = self.remote_reachable_from(self.local_root_set().iter().copied());
+        let mut per_global_root = BTreeMap::new();
+        let mut locally_rooted_global_roots = BTreeSet::new();
+        for id in self.global_root_set() {
+            per_global_root.insert(*id, self.remote_reachable_from([*id]));
+            if locally_reachable.contains(id) {
+                locally_rooted_global_roots.insert(*id);
+            }
+        }
+        ReachabilitySnapshot {
+            site: self.site(),
+            from_local_roots,
+            per_global_root,
+            locally_rooted_global_roots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjRef;
+
+    #[test]
+    fn snapshot_captures_root_and_global_root_edges() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let mid = h.alloc();
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        let remote_a = GlobalAddr::new(1, 1);
+        let remote_b = GlobalAddr::new(2, 1);
+        h.add_ref(root, ObjRef::Local(mid)).unwrap();
+        h.add_ref(mid, ObjRef::Remote(remote_a)).unwrap();
+        h.add_ref(exported, ObjRef::Remote(remote_b)).unwrap();
+
+        let snap = h.snapshot();
+        assert_eq!(snap.site(), SiteId::new(0));
+        assert!(snap.root_reaches(remote_a));
+        assert!(!snap.root_reaches(remote_b));
+        assert!(snap.global_root_reaches(exported, remote_b));
+        assert!(!snap.global_root_reaches(exported, remote_a));
+        assert!(!snap.is_locally_rooted(exported));
+        assert_eq!(snap.edge_count(), 2);
+
+        let edges = snap.edges();
+        assert!(edges.contains(&(VertexId::SiteRoot(SiteId::new(0)), remote_a)));
+        assert!(edges.contains(&(
+            VertexId::Object(GlobalAddr::from_parts(SiteId::new(0), exported)),
+            remote_b
+        )));
+        assert_eq!(
+            snap.edges_of(VertexId::SiteRoot(SiteId::new(0))),
+            BTreeSet::from([remote_a])
+        );
+        assert!(snap
+            .edges_of(VertexId::SiteRoot(SiteId::new(9)))
+            .is_empty());
+    }
+
+    #[test]
+    fn locally_rooted_global_roots_are_flagged() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        h.add_ref(root, ObjRef::Local(exported)).unwrap();
+        let snap = h.snapshot();
+        assert!(snap.is_locally_rooted(exported));
+    }
+
+    #[test]
+    fn diff_reports_created_and_destroyed_edges() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let remote_a = GlobalAddr::new(1, 1);
+        let remote_b = GlobalAddr::new(1, 2);
+        h.add_ref(root, ObjRef::Remote(remote_a)).unwrap();
+        let before = h.snapshot();
+
+        h.remove_ref(root, ObjRef::Remote(remote_a)).unwrap();
+        h.add_ref(root, ObjRef::Remote(remote_b)).unwrap();
+        let after = h.snapshot();
+
+        let diff = before.diff(&after);
+        assert_eq!(
+            diff.created,
+            vec![(VertexId::SiteRoot(SiteId::new(0)), remote_b)]
+        );
+        assert_eq!(
+            diff.destroyed,
+            vec![(VertexId::SiteRoot(SiteId::new(0)), remote_a)]
+        );
+        assert!(!diff.is_empty());
+        assert!(after.diff(&after).is_empty());
+    }
+
+    #[test]
+    fn diff_covers_collected_global_roots() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        let remote = GlobalAddr::new(3, 3);
+        h.add_ref(exported, ObjRef::Remote(remote)).unwrap();
+        let before = h.snapshot();
+
+        // GGD decides the global root is unreachable; local GC frees it.
+        h.unregister_global_root(exported);
+        h.collect();
+        let after = h.snapshot();
+
+        let diff = before.diff(&after);
+        assert!(diff.created.is_empty());
+        assert_eq!(
+            diff.destroyed,
+            vec![(
+                VertexId::Object(GlobalAddr::from_parts(SiteId::new(0), exported)),
+                remote
+            )]
+        );
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        h.add_ref(root, ObjRef::Remote(GlobalAddr::new(1, 1))).unwrap();
+        let text = h.snapshot().to_string();
+        assert!(text.contains("root(s0) -> s1/o1"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Mutator operations, scripted scenarios and synthetic workload generators.
+//!
+//! The GGD algorithm only observes the mutator through the *relevant events*
+//! of its computation: operations that create or destroy inter-site paths in
+//! the global root graph (§3.1 of the paper). This crate describes mutator
+//! computations abstractly — as sequences of [`MutatorOp`]s over symbolically
+//! named objects — so that the same workload can be replayed against every
+//! collector implemented in this workspace.
+//!
+//! The [`workloads`] module provides the generators used by the experiments:
+//! the paper's running example (Figures 3–5), doubly-linked lists and rings
+//! spread over many sites (the §4 Schelvis comparison), inter-site garbage
+//! cycles, third-party exchange patterns and seeded random graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use ggd_mutator::{workloads, Step};
+//!
+//! let scenario = workloads::paper_example();
+//! assert!(scenario.steps().iter().any(|s| matches!(s, Step::Settle)));
+//! assert_eq!(scenario.site_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use ggd_types::SiteId;
+
+/// A symbolic object name used by scenarios; the simulator maps names to the
+/// concrete [`ggd_types::GlobalAddr`]s chosen at allocation time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjName(pub u32);
+
+impl fmt::Display for ObjName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One mutator operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MutatorOp {
+    /// Allocate a fresh object `name` on `site`; optionally designate it a
+    /// local root.
+    Alloc {
+        /// Hosting site.
+        site: SiteId,
+        /// Symbolic name of the new object.
+        name: ObjName,
+        /// Whether the object is a designated local root.
+        local_root: bool,
+    },
+    /// Add a reference from one local object to another object of the same
+    /// site.
+    LinkLocal {
+        /// Site both objects live on.
+        site: SiteId,
+        /// Referring object.
+        from: ObjName,
+        /// Referred-to object.
+        to: ObjName,
+    },
+    /// Remove one reference from `from` to `to` (local or remote).
+    Unlink {
+        /// Site of the referring object.
+        site: SiteId,
+        /// Referring object.
+        from: ObjName,
+        /// Referred-to object.
+        to: ObjName,
+    },
+    /// Send, from `from_site`, a mutator message to `recipient` carrying a
+    /// reference to `target`. This is the operation that creates inter-site
+    /// edges; when `target` is not local to `from_site` it is a third-party
+    /// exchange (§3.4).
+    SendRef {
+        /// Site performing the send.
+        from_site: SiteId,
+        /// Object receiving the reference (it will hold it in a slot).
+        recipient: ObjName,
+        /// Object whose reference is being sent.
+        target: ObjName,
+    },
+    /// Remove `name` from its site's designated local roots.
+    DropLocalRoot {
+        /// Hosting site.
+        site: SiteId,
+        /// Object to un-root.
+        name: ObjName,
+    },
+    /// Drop every reference held by `name`.
+    ClearRefs {
+        /// Hosting site.
+        site: SiteId,
+        /// Object whose slots are cleared.
+        name: ObjName,
+    },
+    /// Run a local collection on one site.
+    CollectSite {
+        /// Site to collect.
+        site: SiteId,
+    },
+    /// Run a local collection on every site.
+    CollectAll,
+}
+
+/// One step of a scenario: either a mutator operation or a settling point at
+/// which the simulator delivers all in-flight messages, runs local
+/// collections and lets GGD reach quiescence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Perform a mutator operation.
+    Op(MutatorOp),
+    /// Deliver messages, run collections and GGD until quiescent.
+    Settle,
+}
+
+/// A scripted mutator computation over a fixed number of sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    site_count: u32,
+    steps: Vec<Step>,
+    next_name: u32,
+}
+
+impl Scenario {
+    /// Creates an empty scenario over `site_count` sites.
+    pub fn new(site_count: u32) -> Self {
+        Scenario {
+            site_count,
+            steps: Vec::new(),
+            next_name: 0,
+        }
+    }
+
+    /// Number of sites the scenario requires.
+    pub fn site_count(&self) -> u32 {
+        self.site_count
+    }
+
+    /// The scripted steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the scenario has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Reserves a fresh symbolic object name.
+    pub fn fresh_name(&mut self) -> ObjName {
+        let name = ObjName(self.next_name);
+        self.next_name += 1;
+        name
+    }
+
+    /// Appends a raw step.
+    pub fn push(&mut self, step: Step) -> &mut Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Appends an operation step.
+    pub fn op(&mut self, op: MutatorOp) -> &mut Self {
+        self.push(Step::Op(op))
+    }
+
+    /// Appends a settling point.
+    pub fn settle(&mut self) -> &mut Self {
+        self.push(Step::Settle)
+    }
+
+    /// Convenience: allocate a named object.
+    pub fn alloc(&mut self, site: SiteId, local_root: bool) -> ObjName {
+        let name = self.fresh_name();
+        self.op(MutatorOp::Alloc {
+            site,
+            name,
+            local_root,
+        });
+        name
+    }
+
+    /// Convenience: send a reference from `from_site` to `recipient`.
+    pub fn send_ref(&mut self, from_site: SiteId, recipient: ObjName, target: ObjName) -> &mut Self {
+        self.op(MutatorOp::SendRef {
+            from_site,
+            recipient,
+            target,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builder_appends_steps() {
+        let mut s = Scenario::new(2);
+        assert!(s.is_empty());
+        let a = s.alloc(SiteId::new(0), true);
+        let b = s.alloc(SiteId::new(1), false);
+        assert_ne!(a, b);
+        s.send_ref(SiteId::new(1), a, b).settle();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.site_count(), 2);
+        assert!(matches!(s.steps()[3], Step::Settle));
+        assert_eq!(a.to_string(), "n0");
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut s = Scenario::new(1);
+        let names: Vec<ObjName> = (0..10).map(|_| s.fresh_name()).collect();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped);
+    }
+}

@@ -1,0 +1,380 @@
+//! Workload generators for the experiments.
+//!
+//! Every generator returns a [`Scenario`] that can be replayed against any
+//! collector. Generators that use randomness take an explicit seed and use
+//! `ChaCha8`, so a `(generator, parameters, seed)` triple always produces
+//! the same scenario.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ggd_types::SiteId;
+
+use crate::{MutatorOp, ObjName, Scenario};
+
+/// The running example of the paper (Figures 3, 4, 5, 7 and 8): four
+/// objects, each on its own site; object 1 is the actual root.
+///
+/// The scenario reproduces the exact sequence of relevant mutator events of
+/// §3.1 and ends with the destruction of the root's edge to object 2, which
+/// is what triggers GGD in Figure 8. After settling, objects 2, 3 and 4 are
+/// garbage (they form a disconnected cycle) and object 1 survives.
+pub fn paper_example() -> Scenario {
+    let mut s = Scenario::new(4);
+    let s1 = SiteId::new(0);
+    let s2 = SiteId::new(1);
+    let s3 = SiteId::new(2);
+    let s4 = SiteId::new(3);
+
+    // Object 1: the root, on site 1.
+    let o1 = s.alloc(s1, true);
+    // Root 1 creates object 2 (event e2,1): allocate remotely and export.
+    let o2 = s.alloc(s2, false);
+    s.send_ref(s2, o1, o2);
+    s.settle();
+    // Object 2 creates object 3 (e3,1) and object 4 (e4,1).
+    let o3 = s.alloc(s3, false);
+    s.send_ref(s3, o2, o3);
+    let o4 = s.alloc(s4, false);
+    s.send_ref(s4, o2, o4);
+    s.settle();
+    // Object 2 sends 4 a reference to 3 (e3,2) and 3 a reference to 4 (e4,2).
+    s.send_ref(s2, o4, o3);
+    s.send_ref(s2, o3, o4);
+    // Object 2 sends its own reference to 4 (e2,2).
+    s.send_ref(s2, o4, o2);
+    s.settle();
+    // The root drops its edge to object 2 (e2,3): GGD is triggered.
+    s.op(MutatorOp::Unlink {
+        site: s1,
+        from: o1,
+        to: o2,
+    });
+    s.settle();
+    s
+}
+
+/// The symbolic names of the paper example's objects 1–4, in order, matching
+/// what [`paper_example`] allocates. Useful for assertions and for printing
+/// Figure-5-style vectors.
+pub fn paper_example_names() -> [ObjName; 4] {
+    [ObjName(0), ObjName(1), ObjName(2), ObjName(3)]
+}
+
+/// A doubly-linked list of `k` elements, each on its own site, reachable
+/// from a root on site 0 through a head reference. The final steps drop the
+/// head reference, turning the entire list (with its `2(k-1)` internal
+/// edges and back-links) into distributed cyclic garbage.
+///
+/// This is the workload of the §4 comparison with Schelvis' algorithm:
+/// collecting the disconnected list costs O(k) messages with the causal
+/// algorithm and O(k²) with depth-first timestamp packets.
+pub fn doubly_linked_list(k: u32) -> Scenario {
+    assert!(k >= 1, "list needs at least one element");
+    let mut s = Scenario::new(k + 1);
+    let root_site = SiteId::new(0);
+    let root = s.alloc(root_site, true);
+
+    let elements: Vec<ObjName> = (0..k).map(|i| s.alloc(SiteId::new(i + 1), false)).collect();
+    // Head pointer from the root, then next / prev links between consecutive
+    // elements: element i exports its own reference to its neighbours (lazy
+    // rule 1 both ways). The structure is fully linked before the first
+    // settling point so that no element is collected while under
+    // construction.
+    s.send_ref(SiteId::new(1), root, elements[0]);
+    for i in 0..(k as usize - 1) {
+        let left_site = SiteId::new(i as u32 + 1);
+        let right_site = SiteId::new(i as u32 + 2);
+        s.send_ref(right_site, elements[i], elements[i + 1]); // next
+        s.send_ref(left_site, elements[i + 1], elements[i]); // prev
+    }
+    s.settle();
+    // Disconnect the list.
+    s.op(MutatorOp::Unlink {
+        site: root_site,
+        from: root,
+        to: elements[0],
+    });
+    s.settle();
+    s
+}
+
+/// A ring of `k` objects, one per site, reachable from a root on site 0;
+/// the last steps disconnect the ring so that it becomes a distributed cycle
+/// of garbage — the structure acyclic reference-counting collectors cannot
+/// reclaim.
+pub fn ring(k: u32) -> Scenario {
+    assert!(k >= 2, "a ring needs at least two elements");
+    let mut s = Scenario::new(k + 1);
+    let root_site = SiteId::new(0);
+    let root = s.alloc(root_site, true);
+    let elements: Vec<ObjName> = (0..k).map(|i| s.alloc(SiteId::new(i + 1), false)).collect();
+    // Fully link the ring (head pointer plus one forward edge per element)
+    // before the first settling point.
+    s.send_ref(SiteId::new(1), root, elements[0]);
+    for i in 0..k as usize {
+        let next = (i + 1) % k as usize;
+        // element i holds a reference to element next: element next's site
+        // exports its reference to element i.
+        s.send_ref(SiteId::new(next as u32 + 1), elements[i], elements[next]);
+    }
+    s.settle();
+    s.op(MutatorOp::Unlink {
+        site: root_site,
+        from: root,
+        to: elements[0],
+    });
+    s.settle();
+    s
+}
+
+/// A third-party exchange pattern: a hub site repeatedly sends references to
+/// `spokes` other sites, each reference denoting an object of yet another
+/// site. Used by experiment E5 to count the control-message overhead of
+/// eager versus lazy log-keeping (the lazy mechanism sends none).
+pub fn third_party_exchanges(spokes: u32) -> Scenario {
+    assert!(spokes >= 1);
+    let mut s = Scenario::new(spokes + 2);
+    let hub_site = SiteId::new(0);
+    let target_site = SiteId::new(1);
+    let hub = s.alloc(hub_site, true);
+    let target = s.alloc(target_site, false);
+    s.send_ref(target_site, hub, target);
+    s.settle();
+    // Each spoke receives, from the hub, a reference to the third-party
+    // target object.
+    for i in 0..spokes {
+        let spoke_site = SiteId::new(i + 2);
+        let spoke = s.alloc(spoke_site, true);
+        s.send_ref(spoke_site, hub, spoke);
+        s.settle();
+        s.send_ref(hub_site, spoke, target);
+    }
+    s.settle();
+    s
+}
+
+/// A garbage island spanning `island_sites` sites inside a system of
+/// `total_sites` sites whose remaining sites hold purely live data. Used by
+/// experiments E7 and E8: the causal algorithm only involves the island's
+/// sites in collecting it, and its message count is independent of the
+/// amount of live data elsewhere.
+pub fn garbage_island(total_sites: u32, island_sites: u32, live_objects_per_site: u32) -> Scenario {
+    assert!(island_sites >= 1 && island_sites < total_sites);
+    let mut s = Scenario::new(total_sites);
+    // Live population: per site, a root with a chain of local objects plus a
+    // remote reference to the next live site (never dropped).
+    let live_roots: Vec<ObjName> = (0..total_sites)
+        .map(|i| s.alloc(SiteId::new(i), true))
+        .collect();
+    let mut live_exports = Vec::new();
+    for i in 0..total_sites {
+        let site = SiteId::new(i);
+        let mut prev = live_roots[i as usize];
+        for _ in 0..live_objects_per_site {
+            let obj = s.alloc(site, false);
+            s.op(MutatorOp::LinkLocal {
+                site,
+                from: prev,
+                to: obj,
+            });
+            prev = obj;
+        }
+        live_exports.push(prev);
+    }
+    for i in 0..total_sites {
+        let next = (i + 1) % total_sites;
+        s.send_ref(
+            SiteId::new(next),
+            live_roots[i as usize],
+            live_exports[next as usize],
+        );
+    }
+    s.settle();
+
+    // The garbage island: a ring over the first `island_sites` sites hanging
+    // off site 0's root, then disconnected. The island is fully linked
+    // before the next settling point.
+    let island: Vec<ObjName> = (0..island_sites)
+        .map(|i| s.alloc(SiteId::new(i), false))
+        .collect();
+    s.send_ref(SiteId::new(0), live_roots[0], island[0]);
+    for i in 0..island_sites as usize {
+        let next = (i + 1) % island_sites as usize;
+        s.send_ref(SiteId::new(next as u32), island[i], island[next]);
+    }
+    s.settle();
+    s.op(MutatorOp::Unlink {
+        site: SiteId::new(0),
+        from: live_roots[0],
+        to: island[0],
+    });
+    s.settle();
+    s
+}
+
+/// A seeded random mutator: objects are allocated over `sites` sites, linked
+/// locally and remotely at random, references are dropped at random, and the
+/// scenario settles periodically. Used by the robustness experiments (E4)
+/// and the safety property tests.
+pub fn random_churn(sites: u32, operations: u32, seed: u64) -> Scenario {
+    assert!(sites >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut s = Scenario::new(sites);
+    // One root per site.
+    let roots: Vec<ObjName> = (0..sites).map(|i| s.alloc(SiteId::new(i), true)).collect();
+    // Track, per object, its hosting site; start with the roots.
+    let mut objects: Vec<(ObjName, SiteId)> = roots
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| (name, SiteId::new(i as u32)))
+        .collect();
+    let mut links: Vec<(SiteId, ObjName, ObjName)> = Vec::new();
+    // Sites that legitimately hold (or have been sent) a reference to each
+    // object, besides its own site. References can only be forwarded by a
+    // holder — a real mutator cannot forge them.
+    let mut forwarders: std::collections::BTreeMap<ObjName, Vec<SiteId>> =
+        std::collections::BTreeMap::new();
+
+    for step in 0..operations {
+        match rng.gen_range(0..5u8) {
+            0 => {
+                // Allocate on a random site and link it from a random local
+                // holder (the root if nothing else is local).
+                let site = SiteId::new(rng.gen_range(0..sites));
+                let name = s.alloc(site, false);
+                let holder = objects
+                    .iter()
+                    .filter(|(_, hosting)| *hosting == site)
+                    .map(|&(n, _)| n)
+                    .collect::<Vec<_>>()
+                    .choose(&mut rng)
+                    .copied()
+                    .unwrap_or(roots[site.index() as usize]);
+                s.op(MutatorOp::LinkLocal {
+                    site,
+                    from: holder,
+                    to: name,
+                });
+                links.push((site, holder, name));
+                objects.push((name, site));
+            }
+            1 | 2 => {
+                // Send a reference to a random recipient. The sender must be
+                // a site that actually holds the target's reference: either
+                // the target's own site (a plain export) or a site whose
+                // root previously received it (a third-party forward).
+                let &(target, target_site) = objects.choose(&mut rng).expect("objects");
+                let &(recipient, recipient_site) = if rng.gen_bool(0.5) {
+                    let idx = rng.gen_range(0..sites) as usize;
+                    &(roots[idx], SiteId::new(idx as u32))
+                } else {
+                    objects.choose(&mut rng).expect("objects")
+                };
+                if target_site != recipient_site {
+                    let mut senders = vec![target_site];
+                    senders.extend(forwarders.get(&target).into_iter().flatten().copied());
+                    let from_site = *senders.choose(&mut rng).expect("nonempty");
+                    s.send_ref(from_site, recipient, target);
+                    if roots.contains(&recipient) {
+                        forwarders.entry(target).or_default().push(recipient_site);
+                    }
+                }
+            }
+            3 => {
+                // Drop a previously created local link.
+                if !links.is_empty() {
+                    let idx = rng.gen_range(0..links.len());
+                    let (site, from, to) = links.swap_remove(idx);
+                    s.op(MutatorOp::Unlink { site, from, to });
+                }
+            }
+            _ => {
+                // Clear a random non-root object's slots.
+                let candidates: Vec<ObjName> = objects
+                    .iter()
+                    .map(|&(n, _)| n)
+                    .filter(|n| !roots.contains(n))
+                    .collect();
+                if let (Some(&name), true) = (candidates.choose(&mut rng), !candidates.is_empty())
+                {
+                    let site = objects
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|&(_, hosting)| hosting)
+                        .expect("known object");
+                    s.op(MutatorOp::ClearRefs { site, name });
+                }
+            }
+        }
+        if step % 8 == 7 {
+            s.settle();
+        }
+    }
+    s.settle();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Step;
+
+    #[test]
+    fn paper_example_shape() {
+        let s = paper_example();
+        assert_eq!(s.site_count(), 4);
+        assert!(s.len() > 10);
+        let sends = s
+            .steps()
+            .iter()
+            .filter(|step| matches!(step, Step::Op(MutatorOp::SendRef { .. })))
+            .count();
+        assert_eq!(sends, 6, "six reference-carrying messages in Fig. 3");
+        assert_eq!(paper_example_names()[0], ObjName(0));
+    }
+
+    #[test]
+    fn list_and_ring_scale_with_k() {
+        let small = doubly_linked_list(2);
+        let large = doubly_linked_list(8);
+        assert!(large.len() > small.len());
+        assert_eq!(large.site_count(), 9);
+        let ring5 = ring(5);
+        assert_eq!(ring5.site_count(), 6);
+        assert!(ring5
+            .steps()
+            .iter()
+            .any(|s| matches!(s, Step::Op(MutatorOp::Unlink { .. }))));
+    }
+
+    #[test]
+    fn third_party_scenario_counts_spokes() {
+        let s = third_party_exchanges(3);
+        assert_eq!(s.site_count(), 5);
+    }
+
+    #[test]
+    fn garbage_island_requires_valid_sizes() {
+        let s = garbage_island(6, 3, 2);
+        assert_eq!(s.site_count(), 6);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn garbage_island_rejects_oversized_island() {
+        let _ = garbage_island(3, 3, 1);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_per_seed() {
+        let a = random_churn(4, 60, 11);
+        let b = random_churn(4, 60, 11);
+        let c = random_churn(4, 60, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,239 @@
+//! Fault injection plans for the simulated network.
+//!
+//! The paper claims (§1, §5) that the algorithm's safety is insensitive to
+//! message loss and duplication: lost messages can only leave residual
+//! garbage, never cause a live object to be reclaimed, and GGD messages are
+//! idempotent. [`FaultPlan`] is how experiments E4 and the failure-injection
+//! property tests exercise those claims.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use ggd_types::SiteId;
+
+/// Per-link fault overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that a message on this link is silently dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a message on this link is delivered twice.
+    pub duplicate_probability: f64,
+    /// Extra latency (in ticks) added to every message on this link.
+    pub extra_delay: u64,
+}
+
+/// A declarative description of the faults the network should inject.
+///
+/// All probabilities are evaluated with the network's seeded RNG, so a given
+/// `(FaultPlan, seed)` pair always produces the same behaviour.
+///
+/// # Example
+///
+/// ```
+/// use ggd_net::FaultPlan;
+/// use ggd_types::SiteId;
+///
+/// let plan = FaultPlan::new()
+///     .with_drop_probability(0.1)
+///     .with_duplicate_probability(0.05)
+///     .with_partition(SiteId::new(0), SiteId::new(3))
+///     .with_stalled_site(SiteId::new(2));
+/// assert!(plan.is_partitioned(SiteId::new(3), SiteId::new(0)));
+/// assert!(plan.is_stalled(SiteId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    drop_probability: f64,
+    duplicate_probability: f64,
+    link_overrides: BTreeMap<(SiteId, SiteId), LinkFault>,
+    partitions: BTreeSet<(SiteId, SiteId)>,
+    stalled: BTreeSet<SiteId>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the global drop probability applied to every link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not within `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the global duplication probability applied to every link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not within `[0, 1]`.
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Overrides the fault behaviour of one directed link.
+    pub fn with_link_fault(mut self, from: SiteId, to: SiteId, fault: LinkFault) -> Self {
+        self.link_overrides.insert((from, to), fault);
+        self
+    }
+
+    /// Declares a bidirectional partition between two sites: no message is
+    /// delivered in either direction while the partition is in place.
+    pub fn with_partition(mut self, a: SiteId, b: SiteId) -> Self {
+        self.partitions.insert(Self::norm(a, b));
+        self
+    }
+
+    /// Declares a site as stalled: messages addressed to it stay queued until
+    /// [`FaultPlan::resume_site`] is called (used to demonstrate that the
+    /// causal GGD makes progress while graph tracing blocks on consensus).
+    pub fn with_stalled_site(mut self, site: SiteId) -> Self {
+        self.stalled.insert(site);
+        self
+    }
+
+    /// Removes a partition previously installed with [`FaultPlan::with_partition`].
+    pub fn heal_partition(&mut self, a: SiteId, b: SiteId) {
+        self.partitions.remove(&Self::norm(a, b));
+    }
+
+    /// Marks a stalled site as running again.
+    pub fn resume_site(&mut self, site: SiteId) {
+        self.stalled.remove(&site);
+    }
+
+    /// Stalls a site (in-place variant of [`FaultPlan::with_stalled_site`]).
+    pub fn stall_site(&mut self, site: SiteId) {
+        self.stalled.insert(site);
+    }
+
+    /// Drop probability effective on the given directed link.
+    pub fn drop_probability(&self, from: SiteId, to: SiteId) -> f64 {
+        self.link_overrides
+            .get(&(from, to))
+            .map(|f| f.drop_probability)
+            .unwrap_or(self.drop_probability)
+    }
+
+    /// Duplication probability effective on the given directed link.
+    pub fn duplicate_probability(&self, from: SiteId, to: SiteId) -> f64 {
+        self.link_overrides
+            .get(&(from, to))
+            .map(|f| f.duplicate_probability)
+            .unwrap_or(self.duplicate_probability)
+    }
+
+    /// Extra latency effective on the given directed link.
+    pub fn extra_delay(&self, from: SiteId, to: SiteId) -> u64 {
+        self.link_overrides
+            .get(&(from, to))
+            .map(|f| f.extra_delay)
+            .unwrap_or(0)
+    }
+
+    /// True when the two sites are currently partitioned from each other.
+    pub fn is_partitioned(&self, a: SiteId, b: SiteId) -> bool {
+        self.partitions.contains(&Self::norm(a, b))
+    }
+
+    /// True when the site is currently stalled.
+    pub fn is_stalled(&self, site: SiteId) -> bool {
+        self.stalled.contains(&site)
+    }
+
+    /// True when the plan can never drop nor duplicate a message.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self
+                .link_overrides
+                .values()
+                .all(|f| f.drop_probability == 0.0 && f.duplicate_probability == 0.0)
+            && self.partitions.is_empty()
+    }
+
+    fn norm(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_reliable() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_reliable());
+        assert_eq!(plan.drop_probability(SiteId::new(0), SiteId::new(1)), 0.0);
+        assert_eq!(plan.extra_delay(SiteId::new(0), SiteId::new(1)), 0);
+        assert!(!plan.is_stalled(SiteId::new(0)));
+    }
+
+    #[test]
+    fn global_probabilities_apply_to_all_links() {
+        let plan = FaultPlan::new()
+            .with_drop_probability(0.25)
+            .with_duplicate_probability(0.5);
+        assert_eq!(plan.drop_probability(SiteId::new(3), SiteId::new(9)), 0.25);
+        assert_eq!(
+            plan.duplicate_probability(SiteId::new(3), SiteId::new(9)),
+            0.5
+        );
+        assert!(!plan.is_reliable());
+    }
+
+    #[test]
+    fn link_override_takes_precedence() {
+        let plan = FaultPlan::new().with_drop_probability(0.5).with_link_fault(
+            SiteId::new(0),
+            SiteId::new(1),
+            LinkFault {
+                drop_probability: 0.0,
+                duplicate_probability: 0.0,
+                extra_delay: 7,
+            },
+        );
+        assert_eq!(plan.drop_probability(SiteId::new(0), SiteId::new(1)), 0.0);
+        assert_eq!(plan.drop_probability(SiteId::new(1), SiteId::new(0)), 0.5);
+        assert_eq!(plan.extra_delay(SiteId::new(0), SiteId::new(1)), 7);
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_healable() {
+        let mut plan = FaultPlan::new().with_partition(SiteId::new(1), SiteId::new(2));
+        assert!(plan.is_partitioned(SiteId::new(1), SiteId::new(2)));
+        assert!(plan.is_partitioned(SiteId::new(2), SiteId::new(1)));
+        assert!(!plan.is_partitioned(SiteId::new(1), SiteId::new(3)));
+        assert!(!plan.is_reliable());
+        plan.heal_partition(SiteId::new(2), SiteId::new(1));
+        assert!(!plan.is_partitioned(SiteId::new(1), SiteId::new(2)));
+    }
+
+    #[test]
+    fn stall_and_resume() {
+        let mut plan = FaultPlan::new().with_stalled_site(SiteId::new(4));
+        assert!(plan.is_stalled(SiteId::new(4)));
+        plan.resume_site(SiteId::new(4));
+        assert!(!plan.is_stalled(SiteId::new(4)));
+        plan.stall_site(SiteId::new(5));
+        assert!(plan.is_stalled(SiteId::new(5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::new().with_drop_probability(1.5);
+    }
+}

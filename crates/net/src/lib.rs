@@ -1,0 +1,57 @@
+//! Deterministic message-passing substrate for the causal GGD workspace.
+//!
+//! The paper's algorithm is asynchronous and message driven: mutator messages
+//! carry object references across site boundaries, and GGD control messages
+//! (edge-destruction notifications and dependency-vector propagation) travel
+//! along the edges of the global root graph. This crate provides the network
+//! those messages travel on:
+//!
+//! * [`SimNetwork`] — a seeded, deterministic discrete-event network with
+//!   configurable latency, message loss, duplication, reordering, partitions
+//!   and stalled sites. Experiments E3–E8 run on it so that message
+//!   complexity can be counted exactly and fault scenarios are reproducible.
+//! * [`ThreadedTransport`] — a crossbeam-channel transport for running the
+//!   same site logic on real OS threads (used by the `lossy_network` example
+//!   and the threaded integration tests).
+//! * [`NetMetrics`] — per-class and per-label counters (messages and bytes)
+//!   from which every experiment table derives its "messages" columns.
+//!
+//! The network is generic over the payload type: the simulator defines one
+//! payload enum per collector family and implements [`Payload`] for it.
+//!
+//! # Example
+//!
+//! ```
+//! use ggd_net::{MessageClass, Payload, SimNetwork, SimNetworkConfig};
+//! use ggd_types::SiteId;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Payload for Ping {
+//!     fn class(&self) -> MessageClass { MessageClass::Control }
+//!     fn label(&self) -> &'static str { "ping" }
+//!     fn size_hint(&self) -> usize { 4 }
+//! }
+//!
+//! let mut net: SimNetwork<Ping> = SimNetwork::new(SimNetworkConfig::default(), 42);
+//! net.send(SiteId::new(0), SiteId::new(1), Ping(7));
+//! let delivery = net.deliver_next().expect("one message in flight");
+//! assert_eq!(delivery.to, SiteId::new(1));
+//! assert_eq!(delivery.payload.0, 7);
+//! assert_eq!(net.metrics().delivered_total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod message;
+mod metrics;
+mod sim;
+mod threaded;
+
+pub use fault::{FaultPlan, LinkFault};
+pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
+pub use metrics::{MetricKey, NetMetrics};
+pub use sim::{SimNetwork, SimNetworkConfig};
+pub use threaded::{ThreadedEndpoint, ThreadedTransport};

@@ -1,0 +1,192 @@
+//! Message envelopes and the payload classification used for metrics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use ggd_types::SiteId;
+
+/// Broad classification of a message, used to separate application traffic
+/// from garbage-collection overhead in every experiment.
+///
+/// The paper's central scalability argument is about how many *control*
+/// messages each GGD scheme adds on top of the mutator's own traffic
+/// (§2.3–§2.4), so the distinction is load-bearing for the benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// A message the application (mutator) would send anyway, possibly
+    /// carrying object references across a site boundary.
+    Mutator,
+    /// A message added by a garbage-collection scheme: edge destruction
+    /// notices, dependency-vector propagation, eager log-keeping updates,
+    /// trace marks, termination-detection rounds, …
+    Control,
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageClass::Mutator => write!(f, "mutator"),
+            MessageClass::Control => write!(f, "control"),
+        }
+    }
+}
+
+/// Trait implemented by every payload type carried by [`SimNetwork`] or
+/// [`ThreadedTransport`].
+///
+/// [`SimNetwork`]: crate::SimNetwork
+/// [`ThreadedTransport`]: crate::ThreadedTransport
+pub trait Payload: Clone {
+    /// Whether the message is mutator traffic or collector overhead.
+    fn class(&self) -> MessageClass;
+    /// A short stable label used to bucket metrics (e.g. `"edge-destruction"`).
+    fn label(&self) -> &'static str;
+    /// Approximate wire size in bytes, used for byte-volume metrics.
+    fn size_hint(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+/// Unique identifier assigned to every message accepted by a network.
+///
+/// Duplicated deliveries (fault injection) share the id of the original
+/// message, which is how tests assert the idempotence claims of §5.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MessageId(u64);
+
+impl MessageId {
+    /// Creates a message id from its raw sequence number.
+    pub const fn new(seq: u64) -> Self {
+        MessageId(seq)
+    }
+
+    /// The raw sequence number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A message in flight: origin, destination and payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope<P> {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Application- or collector-defined payload.
+    pub payload: P,
+}
+
+impl<P> Envelope<P> {
+    /// Creates a new envelope.
+    pub fn new(from: SiteId, to: SiteId, payload: P) -> Self {
+        Envelope { from, to, payload }
+    }
+}
+
+/// A message handed to the destination site by the network.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Identifier of the underlying message (duplicates share it).
+    pub id: MessageId,
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Simulated time at which the delivery happens.
+    pub at: u64,
+    /// True when this delivery is a fault-injected duplicate of an earlier one.
+    pub duplicate: bool,
+    /// The payload.
+    pub payload: P,
+}
+
+#[cfg(test)]
+#[derive(Clone, Debug)]
+pub(crate) struct TestPayload {
+    pub class: MessageClass,
+    pub label: &'static str,
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+impl TestPayload {
+    pub(crate) fn control(label: &'static str) -> Self {
+        TestPayload {
+            class: MessageClass::Control,
+            label,
+            bytes: 16,
+        }
+    }
+
+    pub(crate) fn mutator(label: &'static str) -> Self {
+        TestPayload {
+            class: MessageClass::Mutator,
+            label,
+            bytes: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+impl Payload for TestPayload {
+    fn class(&self) -> MessageClass {
+        self.class
+    }
+    fn label(&self) -> &'static str {
+        self.label
+    }
+    fn size_hint(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_class_display() {
+        assert_eq!(MessageClass::Mutator.to_string(), "mutator");
+        assert_eq!(MessageClass::Control.to_string(), "control");
+        assert!(MessageClass::Mutator < MessageClass::Control);
+    }
+
+    #[test]
+    fn message_id_round_trip() {
+        let id = MessageId::new(17);
+        assert_eq!(id.get(), 17);
+        assert_eq!(id.to_string(), "m17");
+    }
+
+    #[test]
+    fn envelope_carries_payload() {
+        let env = Envelope::new(SiteId::new(1), SiteId::new(2), TestPayload::control("x"));
+        assert_eq!(env.from, SiteId::new(1));
+        assert_eq!(env.to, SiteId::new(2));
+        assert_eq!(env.payload.label(), "x");
+    }
+
+    #[test]
+    fn default_size_hint_is_struct_size() {
+        #[derive(Clone)]
+        struct Tiny(#[allow(dead_code)] u8);
+        impl Payload for Tiny {
+            fn class(&self) -> MessageClass {
+                MessageClass::Control
+            }
+            fn label(&self) -> &'static str {
+                "tiny"
+            }
+        }
+        assert_eq!(Tiny(0).size_hint(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Message and byte accounting for the simulated network.
+//!
+//! Every experiment table in `EXPERIMENTS.md` reports message complexity; the
+//! counters here are the single source of truth for those columns. Counters
+//! are bucketed by [`MessageClass`] and by the payload's stable label so that
+//! e.g. "edge-destruction" control messages can be distinguished from
+//! "vector-propagation" messages.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::message::MessageClass;
+
+/// Key of one metrics bucket: the payload class plus its stable label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetricKey {
+    /// Mutator or control traffic.
+    pub class: MessageClass,
+    /// Stable payload label, e.g. `"edge-destruction"`.
+    pub label: String,
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.class, self.label)
+    }
+}
+
+/// Per-bucket counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct Bucket {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+    bytes_sent: u64,
+}
+
+/// Aggregated network metrics.
+///
+/// # Example
+///
+/// ```
+/// use ggd_net::{MessageClass, NetMetrics};
+/// let mut m = NetMetrics::new();
+/// m.record_sent(MessageClass::Control, "edge-destruction", 32);
+/// m.record_delivered(MessageClass::Control, "edge-destruction");
+/// assert_eq!(m.sent_total(), 1);
+/// assert_eq!(m.control_messages_sent(), 1);
+/// assert_eq!(m.mutator_messages_sent(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetMetrics {
+    buckets: BTreeMap<MetricKey, Bucket>,
+}
+
+impl NetMetrics {
+    /// Creates an empty metrics table.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    fn bucket(&mut self, class: MessageClass, label: &str) -> &mut Bucket {
+        self.buckets
+            .entry(MetricKey {
+                class,
+                label: label.to_owned(),
+            })
+            .or_default()
+    }
+
+    /// Records a message accepted for sending.
+    pub fn record_sent(&mut self, class: MessageClass, label: &str, bytes: usize) {
+        let b = self.bucket(class, label);
+        b.sent += 1;
+        b.bytes_sent += bytes as u64;
+    }
+
+    /// Records a successful delivery.
+    pub fn record_delivered(&mut self, class: MessageClass, label: &str) {
+        self.bucket(class, label).delivered += 1;
+    }
+
+    /// Records a message dropped by fault injection.
+    pub fn record_dropped(&mut self, class: MessageClass, label: &str) {
+        self.bucket(class, label).dropped += 1;
+    }
+
+    /// Records a fault-injected duplicate delivery.
+    pub fn record_duplicated(&mut self, class: MessageClass, label: &str) {
+        self.bucket(class, label).duplicated += 1;
+    }
+
+    /// Total messages accepted for sending.
+    pub fn sent_total(&self) -> u64 {
+        self.buckets.values().map(|b| b.sent).sum()
+    }
+
+    /// Total messages delivered (duplicates included).
+    pub fn delivered_total(&self) -> u64 {
+        self.buckets.values().map(|b| b.delivered + b.duplicated).sum()
+    }
+
+    /// Total messages dropped by fault injection.
+    pub fn dropped_total(&self) -> u64 {
+        self.buckets.values().map(|b| b.dropped).sum()
+    }
+
+    /// Total duplicate deliveries injected.
+    pub fn duplicated_total(&self) -> u64 {
+        self.buckets.values().map(|b| b.duplicated).sum()
+    }
+
+    /// Total bytes accepted for sending.
+    pub fn bytes_sent_total(&self) -> u64 {
+        self.buckets.values().map(|b| b.bytes_sent).sum()
+    }
+
+    /// Messages sent in a given class.
+    pub fn sent_in_class(&self, class: MessageClass) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|(k, _)| k.class == class)
+            .map(|(_, b)| b.sent)
+            .sum()
+    }
+
+    /// Control (collector overhead) messages sent.
+    pub fn control_messages_sent(&self) -> u64 {
+        self.sent_in_class(MessageClass::Control)
+    }
+
+    /// Mutator (application) messages sent.
+    pub fn mutator_messages_sent(&self) -> u64 {
+        self.sent_in_class(MessageClass::Mutator)
+    }
+
+    /// Messages sent under a specific label.
+    pub fn sent_with_label(&self, label: &str) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|(k, _)| k.label == label)
+            .map(|(_, b)| b.sent)
+            .sum()
+    }
+
+    /// Bytes sent under a specific label.
+    pub fn bytes_with_label(&self, label: &str) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|(k, _)| k.label == label)
+            .map(|(_, b)| b.bytes_sent)
+            .sum()
+    }
+
+    /// All labels seen so far, in sorted order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.buckets.keys().map(|k| k.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Merges another metrics table into this one (used when aggregating
+    /// several runs of an experiment).
+    pub fn absorb(&mut self, other: &NetMetrics) {
+        for (key, bucket) in &other.buckets {
+            let mine = self.buckets.entry(key.clone()).or_default();
+            mine.sent += bucket.sent;
+            mine.delivered += bucket.delivered;
+            mine.dropped += bucket.dropped;
+            mine.duplicated += bucket.duplicated;
+            mine.bytes_sent += bucket.bytes_sent;
+        }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+    }
+}
+
+impl fmt::Display for NetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages: sent={} delivered={} dropped={} duplicated={} bytes={}",
+            self.sent_total(),
+            self.delivered_total(),
+            self.dropped_total(),
+            self.duplicated_total(),
+            self.bytes_sent_total()
+        )?;
+        for (key, b) in &self.buckets {
+            writeln!(
+                f,
+                "  {key}: sent={} delivered={} dropped={} dup={} bytes={}",
+                b.sent, b.delivered, b.dropped, b.duplicated, b.bytes_sent
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetMetrics::new();
+        m.record_sent(MessageClass::Mutator, "payload", 100);
+        m.record_sent(MessageClass::Control, "edge-destruction", 40);
+        m.record_sent(MessageClass::Control, "vector-propagation", 60);
+        m.record_delivered(MessageClass::Mutator, "payload");
+        m.record_dropped(MessageClass::Control, "edge-destruction");
+        m.record_duplicated(MessageClass::Control, "vector-propagation");
+
+        assert_eq!(m.sent_total(), 3);
+        assert_eq!(m.delivered_total(), 2); // one real + one duplicate
+        assert_eq!(m.dropped_total(), 1);
+        assert_eq!(m.duplicated_total(), 1);
+        assert_eq!(m.bytes_sent_total(), 200);
+        assert_eq!(m.control_messages_sent(), 2);
+        assert_eq!(m.mutator_messages_sent(), 1);
+        assert_eq!(m.sent_with_label("edge-destruction"), 1);
+        assert_eq!(m.bytes_with_label("payload"), 100);
+        assert_eq!(
+            m.labels(),
+            vec![
+                "edge-destruction".to_owned(),
+                "payload".to_owned(),
+                "vector-propagation".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn absorb_merges_buckets() {
+        let mut a = NetMetrics::new();
+        a.record_sent(MessageClass::Control, "x", 10);
+        let mut b = NetMetrics::new();
+        b.record_sent(MessageClass::Control, "x", 5);
+        b.record_sent(MessageClass::Mutator, "y", 1);
+        a.absorb(&b);
+        assert_eq!(a.sent_with_label("x"), 2);
+        assert_eq!(a.bytes_with_label("x"), 15);
+        assert_eq!(a.mutator_messages_sent(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = NetMetrics::new();
+        m.record_sent(MessageClass::Control, "x", 10);
+        m.reset();
+        assert_eq!(m.sent_total(), 0);
+        assert!(m.labels().is_empty());
+    }
+
+    #[test]
+    fn display_contains_buckets() {
+        let mut m = NetMetrics::new();
+        m.record_sent(MessageClass::Control, "edge-destruction", 10);
+        let text = m.to_string();
+        assert!(text.contains("control/edge-destruction"));
+        assert!(text.contains("sent=1"));
+    }
+}

@@ -1,0 +1,196 @@
+//! A crossbeam-channel transport for running sites on real OS threads.
+//!
+//! The deterministic [`SimNetwork`](crate::SimNetwork) is what the
+//! experiments use (message counts must be exact and runs reproducible), but
+//! the GGD engines themselves are transport-agnostic. `ThreadedTransport`
+//! demonstrates that: each site gets a [`ThreadedEndpoint`] that can be moved
+//! to its own thread, and messages flow through unbounded crossbeam channels.
+//! The threaded integration tests run the paper's scenario this way.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ggd_types::SiteId;
+
+use crate::message::{Envelope, Payload};
+use crate::metrics::NetMetrics;
+
+/// Error returned by [`ThreadedEndpoint::send`] when the destination site is
+/// unknown or its receiving end has been dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError {
+    /// The destination that could not be reached.
+    pub to: SiteId,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no reachable endpoint for site {}", self.to)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Factory for a set of interconnected [`ThreadedEndpoint`]s.
+#[derive(Debug)]
+pub struct ThreadedTransport<P> {
+    endpoints: Vec<ThreadedEndpoint<P>>,
+}
+
+impl<P: Payload + Send + 'static> ThreadedTransport<P> {
+    /// Creates one endpoint per site, all fully connected.
+    pub fn new(sites: &[SiteId]) -> Self {
+        let metrics = Arc::new(Mutex::new(NetMetrics::new()));
+        let mut senders: HashMap<SiteId, Sender<Envelope<P>>> = HashMap::new();
+        let mut receivers: Vec<(SiteId, Receiver<Envelope<P>>)> = Vec::new();
+        for &site in sites {
+            let (tx, rx) = unbounded();
+            senders.insert(site, tx);
+            receivers.push((site, rx));
+        }
+        let endpoints = receivers
+            .into_iter()
+            .map(|(site, receiver)| ThreadedEndpoint {
+                site,
+                receiver,
+                senders: senders.clone(),
+                metrics: Arc::clone(&metrics),
+            })
+            .collect();
+        ThreadedTransport { endpoints }
+    }
+
+    /// Consumes the transport and hands out the endpoints, in the order the
+    /// sites were given to [`ThreadedTransport::new`].
+    pub fn into_endpoints(self) -> Vec<ThreadedEndpoint<P>> {
+        self.endpoints
+    }
+}
+
+/// One site's handle on the threaded transport.
+#[derive(Debug)]
+pub struct ThreadedEndpoint<P> {
+    site: SiteId,
+    receiver: Receiver<Envelope<P>>,
+    senders: HashMap<SiteId, Sender<Envelope<P>>>,
+    metrics: Arc<Mutex<NetMetrics>>,
+}
+
+impl<P: Payload> ThreadedEndpoint<P> {
+    /// The site this endpoint belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Sends a payload to another site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the destination is unknown or has shut down.
+    pub fn send(&self, to: SiteId, payload: P) -> Result<(), SendError> {
+        self.metrics
+            .lock()
+            .record_sent(payload.class(), payload.label(), payload.size_hint());
+        let sender = self.senders.get(&to).ok_or(SendError { to })?;
+        sender
+            .send(Envelope::new(self.site, to, payload))
+            .map_err(|_| SendError { to })
+    }
+
+    /// Receives the next message addressed to this site, waiting up to
+    /// `timeout`. Returns `None` on timeout or when every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<P>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => {
+                self.metrics
+                    .lock()
+                    .record_delivered(env.payload.class(), env.payload.label());
+                Some(env)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<P>> {
+        self.receiver.try_recv().ok().map(|env| {
+            self.metrics
+                .lock()
+                .record_delivered(env.payload.class(), env.payload.label());
+            env
+        })
+    }
+
+    /// A snapshot of the metrics shared by every endpoint of the transport.
+    pub fn metrics_snapshot(&self) -> NetMetrics {
+        self.metrics.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::TestPayload;
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId::new).collect()
+    }
+
+    #[test]
+    fn ping_pong_between_threads() {
+        let transport: ThreadedTransport<TestPayload> = ThreadedTransport::new(&sites(2));
+        let mut endpoints = transport.into_endpoints();
+        let b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+
+        let handle = std::thread::spawn(move || {
+            let env = b.recv_timeout(Duration::from_secs(1)).expect("ping");
+            assert_eq!(env.from, SiteId::new(0));
+            b.send(env.from, TestPayload::control("pong")).unwrap();
+        });
+
+        a.send(SiteId::new(1), TestPayload::control("ping")).unwrap();
+        let reply = a.recv_timeout(Duration::from_secs(1)).expect("pong");
+        assert_eq!(reply.payload.label, "pong");
+        handle.join().unwrap();
+
+        let metrics = a.metrics_snapshot();
+        assert_eq!(metrics.sent_total(), 2);
+        assert_eq!(metrics.delivered_total(), 2);
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let transport: ThreadedTransport<TestPayload> = ThreadedTransport::new(&sites(1));
+        let a = transport.into_endpoints().pop().unwrap();
+        let err = a
+            .send(SiteId::new(9), TestPayload::control("x"))
+            .unwrap_err();
+        assert_eq!(err.to, SiteId::new(9));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let transport: ThreadedTransport<TestPayload> = ThreadedTransport::new(&sites(2));
+        let endpoints = transport.into_endpoints();
+        assert!(endpoints[0].try_recv().is_none());
+        endpoints[1]
+            .send(endpoints[0].site(), TestPayload::mutator("m"))
+            .unwrap();
+        let env = endpoints[0].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.payload.label, "m");
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let transport: ThreadedTransport<TestPayload> = ThreadedTransport::new(&sites(2));
+        let endpoints = transport.into_endpoints();
+        assert!(endpoints[0]
+            .recv_timeout(Duration::from_millis(10))
+            .is_none());
+    }
+}

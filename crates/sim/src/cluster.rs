@@ -1,0 +1,473 @@
+//! The simulated cluster: heaps + collectors over one network.
+
+use std::collections::BTreeMap;
+
+use ggd_heap::{ObjRef, SiteHeap};
+use ggd_mutator::{MutatorOp, ObjName, Scenario, Step};
+use ggd_net::{FaultPlan, SimNetwork, SimNetworkConfig};
+use ggd_types::{GlobalAddr, SiteId};
+
+use crate::collector::{Collector, SimPayload};
+use crate::oracle::Oracle;
+use crate::report::RunReport;
+
+/// Configuration of a simulated cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    /// Network latency/jitter configuration.
+    pub net: SimNetworkConfig,
+    /// Fault injection plan (drop, duplicate, partition, stall).
+    pub faults: FaultPlan,
+    /// RNG seed for the network.
+    pub seed: u64,
+    /// Safety valve for the settle loop; `0` means the default (64 rounds).
+    pub max_settle_rounds: u32,
+}
+
+impl ClusterConfig {
+    fn settle_rounds(&self) -> u32 {
+        if self.max_settle_rounds == 0 {
+            64
+        } else {
+            self.max_settle_rounds
+        }
+    }
+}
+
+/// A cluster of sites, each pairing a [`SiteHeap`] with a garbage-detection
+/// engine, connected by a deterministic [`SimNetwork`].
+#[derive(Debug)]
+pub struct Cluster<C: Collector> {
+    config: ClusterConfig,
+    heaps: BTreeMap<SiteId, SiteHeap>,
+    collectors: BTreeMap<SiteId, C>,
+    net: SimNetwork<SimPayload<C::Msg>>,
+    names: BTreeMap<ObjName, GlobalAddr>,
+    reclaimed: u64,
+    safety_violations: u64,
+    verdicts: u64,
+    triggered_at: Option<u64>,
+    last_verdict_at: Option<u64>,
+}
+
+impl<C: Collector> Cluster<C> {
+    /// Creates a cluster of `sites` sites, building each site's collector
+    /// with `factory`.
+    pub fn new(sites: u32, config: ClusterConfig, factory: impl Fn(SiteId) -> C) -> Self {
+        let mut heaps = BTreeMap::new();
+        let mut collectors = BTreeMap::new();
+        for i in 0..sites {
+            let site = SiteId::new(i);
+            heaps.insert(site, SiteHeap::new(site));
+            collectors.insert(site, factory(site));
+        }
+        let net = SimNetwork::with_faults(config.net, config.faults.clone(), config.seed);
+        Cluster {
+            config,
+            heaps,
+            collectors,
+            net,
+            names: BTreeMap::new(),
+            reclaimed: 0,
+            safety_violations: 0,
+            verdicts: 0,
+            triggered_at: None,
+            last_verdict_at: None,
+        }
+    }
+
+    /// Creates a cluster sized for `scenario`.
+    pub fn from_scenario(
+        scenario: &Scenario,
+        config: ClusterConfig,
+        factory: impl Fn(SiteId) -> C,
+    ) -> Self {
+        Cluster::new(scenario.site_count(), config, factory)
+    }
+
+    /// The address allocated for a symbolic object name, if it exists yet.
+    pub fn addr_of(&self, name: ObjName) -> Option<GlobalAddr> {
+        self.names.get(&name).copied()
+    }
+
+    /// Read access to a site's heap.
+    pub fn heap(&self, site: SiteId) -> &SiteHeap {
+        &self.heaps[&site]
+    }
+
+    /// Read access to a site's collector.
+    pub fn collector(&self, site: SiteId) -> &C {
+        &self.collectors[&site]
+    }
+
+    /// Mutable access to the network's fault plan (heal partitions, resume
+    /// stalled sites, …) between steps.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        self.net.faults_mut()
+    }
+
+    /// Runs a whole scenario and returns the end-of-run report.
+    pub fn run(&mut self, scenario: &Scenario) -> RunReport {
+        for step in scenario.steps() {
+            match step {
+                Step::Op(op) => self.execute(*op),
+                Step::Settle => self.settle(),
+            }
+        }
+        self.settle();
+        self.report()
+    }
+
+    /// Executes a single mutator operation.
+    pub fn execute(&mut self, op: MutatorOp) {
+        match op {
+            MutatorOp::Alloc {
+                site,
+                name,
+                local_root,
+            } => {
+                let heap = self.heaps.get_mut(&site).expect("site exists");
+                let id = if local_root {
+                    heap.alloc_local_root()
+                } else {
+                    heap.alloc()
+                };
+                self.names.insert(name, heap.addr_of(id));
+            }
+            MutatorOp::LinkLocal { site, from, to } => {
+                let from_addr = self.names[&from];
+                let to_addr = self.names[&to];
+                let heap = self.heaps.get_mut(&site).expect("site exists");
+                // Either endpoint may already have been collected under a
+                // churning workload; such a link is simply a no-op.
+                if heap.contains(from_addr.object()) && heap.contains(to_addr.object()) {
+                    heap.add_ref(from_addr.object(), ObjRef::Local(to_addr.object()))
+                        .expect("link endpoints exist");
+                }
+                self.sync_site(site);
+            }
+            MutatorOp::Unlink { site, from, to } => {
+                let from_addr = self.names[&from];
+                let to_addr = self.names[&to];
+                let reference = if to_addr.site() == site {
+                    ObjRef::Local(to_addr.object())
+                } else {
+                    ObjRef::Remote(to_addr)
+                };
+                let heap = self.heaps.get_mut(&site).expect("site exists");
+                if heap.contains(from_addr.object()) {
+                    let _ = heap.remove_ref(from_addr.object(), reference);
+                }
+                self.sync_site(site);
+            }
+            MutatorOp::SendRef {
+                from_site,
+                recipient,
+                target,
+            } => {
+                let recipient_addr = self.names[&recipient];
+                let target_addr = self.names[&target];
+                if target_addr.site() == from_site {
+                    let heap = self.heaps.get_mut(&from_site).expect("site exists");
+                    if heap.contains(target_addr.object()) {
+                        heap.register_global_root(target_addr.object())
+                            .expect("target exists");
+                    }
+                    self.collectors
+                        .get_mut(&from_site)
+                        .expect("site exists")
+                        .on_export(target_addr, recipient_addr);
+                } else {
+                    self.collectors
+                        .get_mut(&from_site)
+                        .expect("site exists")
+                        .on_third_party_send(target_addr, recipient_addr);
+                }
+                self.sync_site(from_site);
+                self.net.send(
+                    from_site,
+                    recipient_addr.site(),
+                    SimPayload::Reference {
+                        recipient: recipient_addr,
+                        target: target_addr,
+                    },
+                );
+            }
+            MutatorOp::DropLocalRoot { site, name } => {
+                let addr = self.names[&name];
+                self.heaps
+                    .get_mut(&site)
+                    .expect("site exists")
+                    .remove_local_root(addr.object());
+                self.sync_site(site);
+            }
+            MutatorOp::ClearRefs { site, name } => {
+                let addr = self.names[&name];
+                let heap = self.heaps.get_mut(&site).expect("site exists");
+                if heap.contains(addr.object()) {
+                    heap.clear_refs(addr.object()).expect("object exists");
+                }
+                self.sync_site(site);
+            }
+            MutatorOp::CollectSite { site } => self.collect_site(site),
+            MutatorOp::CollectAll => self.collect_all(),
+        }
+    }
+
+    /// Delivers every in-flight message, running local collections between
+    /// rounds, until the whole system is quiescent (or the settle-round
+    /// safety valve trips).
+    pub fn settle(&mut self) {
+        for _ in 0..self.config.settle_rounds() {
+            let mut progressed = false;
+            while let Some(delivery) = self.net.deliver_next() {
+                progressed = true;
+                let to = delivery.to;
+                let from = delivery.from;
+                match delivery.payload {
+                    SimPayload::Reference { recipient, target } => {
+                        let heap = self.heaps.get_mut(&to).expect("site exists");
+                        if heap.contains(recipient.object())
+                            && heap.receive_ref(recipient.object(), target).is_ok()
+                        {
+                            self.collectors
+                                .get_mut(&to)
+                                .expect("site exists")
+                                .on_receive_ref(recipient, target);
+                        }
+                        self.sync_site(to);
+                    }
+                    SimPayload::Control(msg) => {
+                        self.collectors
+                            .get_mut(&to)
+                            .expect("site exists")
+                            .on_message(from, msg);
+                        self.apply_verdicts(to);
+                        self.sync_site(to);
+                    }
+                }
+            }
+            self.collect_all();
+            if !progressed && self.net.pending() == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Runs a local collection on one site, checking every freed object
+    /// against the oracle.
+    pub fn collect_site(&mut self, site: SiteId) {
+        let live = Oracle::reachable(&self.heaps);
+        let heap = self.heaps.get_mut(&site).expect("site exists");
+        let outcome = heap.collect();
+        for freed in &outcome.freed {
+            let addr = GlobalAddr::from_parts(site, *freed);
+            if live.contains(&addr) {
+                self.safety_violations += 1;
+            }
+        }
+        self.reclaimed += outcome.freed.len() as u64;
+        if !outcome.is_noop() {
+            self.sync_site(site);
+        }
+    }
+
+    /// Runs a local collection on every site.
+    pub fn collect_all(&mut self) {
+        let sites: Vec<SiteId> = self.heaps.keys().copied().collect();
+        for site in sites {
+            self.collect_site(site);
+        }
+    }
+
+    /// Builds the end-of-run report.
+    pub fn report(&self) -> RunReport {
+        let residual = Oracle::garbage(&self.heaps).len() as u64;
+        let allocated = self.heaps.values().map(|h| h.stats().allocated).sum();
+        RunReport {
+            collector: self
+                .collectors
+                .values()
+                .next()
+                .map(|c| c.name().to_owned())
+                .unwrap_or_default(),
+            sites: self.heaps.len() as u32,
+            allocated,
+            reclaimed: self.reclaimed,
+            safety_violations: self.safety_violations,
+            residual_garbage: residual,
+            verdicts: self.verdicts,
+            finished_at: self.net_now(),
+            last_verdict_at: self.last_verdict_at,
+            triggered_at: self.triggered_at,
+            net: self.net.metrics().clone(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn net_now(&self) -> u64 {
+        self.net.now()
+    }
+
+    fn apply_verdicts(&mut self, site: SiteId) {
+        let verdicts = self
+            .collectors
+            .get_mut(&site)
+            .expect("site exists")
+            .take_verdicts();
+        if verdicts.is_empty() {
+            return;
+        }
+        let heap = self.heaps.get_mut(&site).expect("site exists");
+        for addr in verdicts {
+            if addr.site() == site {
+                heap.unregister_global_root(addr.object());
+                self.verdicts += 1;
+                self.last_verdict_at = Some(self.net.now());
+            }
+        }
+    }
+
+    fn sync_site(&mut self, site: SiteId) {
+        let snapshot = self.heaps[&site].snapshot();
+        let collector = self.collectors.get_mut(&site).expect("site exists");
+        collector.apply_snapshot(&snapshot);
+        let outgoing = collector.take_outgoing();
+        self.apply_verdicts(site);
+        for (dest, msg) in outgoing {
+            if self.triggered_at.is_none() {
+                self.triggered_at = Some(self.net.now());
+            }
+            self.net.send(site, dest, SimPayload::Control(msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::CausalCollector;
+    use ggd_mutator::workloads;
+
+    fn run_causal(scenario: &Scenario) -> RunReport {
+        let mut cluster =
+            Cluster::from_scenario(scenario, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(scenario);
+        eprintln!("{report}");
+        report
+    }
+
+    #[test]
+    fn paper_example_collects_the_disconnected_cycle() {
+        let scenario = workloads::paper_example();
+        let report = run_causal(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert_eq!(report.allocated, 4);
+        // Objects 2, 3 and 4 are reclaimed; the root survives.
+        assert_eq!(report.reclaimed, 3);
+        assert!(report.verdicts >= 3);
+        assert!(report.detection_latency().is_some());
+    }
+
+    #[test]
+    fn debug_paper_example_state() {
+        let scenario = workloads::paper_example();
+        let mut cluster =
+            Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(&scenario);
+        eprintln!("{report}");
+        for site in 0..4u32 {
+            let s = ggd_types::SiteId::new(site);
+            let heap = cluster.heap(s);
+            for obj in heap.iter() {
+                eprintln!("site {site} still has {} (global_root={})", obj.id(), heap.is_global_root(obj.id()));
+            }
+            eprintln!("--- site {site} engine log:\n{}", cluster.collector(s).engine().log());
+        }
+    }
+
+
+    #[test]
+    fn debug_list_state() {
+        let scenario = workloads::doubly_linked_list(6);
+        let mut cluster =
+            Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(&scenario);
+        eprintln!("{report}");
+        for site in 0..7u32 {
+            let s = ggd_types::SiteId::new(site);
+            let heap = cluster.heap(s);
+            for obj in heap.iter() {
+                eprintln!("site {site} still has {} (gr={})", obj.id(), heap.is_global_root(obj.id()));
+            }
+            eprintln!("--- site {site} log:\n{}", cluster.collector(s).engine().log());
+        }
+    }
+
+    #[test]
+    fn ring_garbage_is_collected_comprehensively() {
+        let scenario = workloads::ring(5);
+        let report = run_causal(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert_eq!(report.reclaimed, 5);
+    }
+
+    #[test]
+    fn doubly_linked_list_collapse() {
+        let scenario = workloads::doubly_linked_list(6);
+        let report = run_causal(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert_eq!(report.reclaimed, 6);
+    }
+
+    #[test]
+    fn live_data_survives_random_churn() {
+        for seed in 0..3 {
+            let scenario = workloads::random_churn(4, 80, seed);
+            let report = run_causal(&scenario);
+            assert_eq!(report.safety_violations, 0, "seed {seed} violated safety");
+            assert_eq!(report.residual_garbage, 0, "seed {seed} left garbage");
+        }
+    }
+
+    #[test]
+    fn message_loss_never_compromises_safety() {
+        let scenario = workloads::random_churn(4, 60, 7);
+        let config = ClusterConfig {
+            faults: FaultPlan::new().with_drop_probability(0.3),
+            seed: 3,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::from_scenario(&scenario, config, CausalCollector::new);
+        let report = cluster.run(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        // Residual garbage is allowed (and expected) under loss.
+    }
+
+    #[test]
+    fn duplication_changes_nothing_but_counts() {
+        let scenario = workloads::ring(4);
+        let config = ClusterConfig {
+            faults: FaultPlan::new().with_duplicate_probability(0.5),
+            seed: 9,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::from_scenario(&scenario, config, CausalCollector::new);
+        let report = cluster.run(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+    }
+
+    #[test]
+    fn garbage_island_only_involves_its_sites() {
+        let scenario = workloads::garbage_island(8, 3, 2);
+        let report = run_causal(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        // Only the island (3 objects) is garbage; the live chains survive.
+        assert_eq!(report.reclaimed, 3);
+    }
+}

@@ -1,0 +1,287 @@
+//! The collector abstraction the simulator drives, and its adapter for the
+//! paper's causal engine.
+
+use ggd_causal::{CausalEngine, CausalMessage};
+use ggd_heap::ReachabilitySnapshot;
+use ggd_net::{MessageClass, Payload};
+use ggd_types::{GlobalAddr, SiteId, VertexId};
+
+/// What one site's garbage-detection engine must provide so the simulator
+/// can drive it. Every engine in this workspace (the causal engine and the
+/// baselines) is wrapped in an adapter implementing this trait, so the same
+/// workloads and experiments run unchanged against each of them.
+pub trait Collector {
+    /// The GGD control-message type exchanged between engines of this kind.
+    type Msg: Payload + Clone + std::fmt::Debug;
+
+    /// Short, stable name used in experiment tables (e.g. `"causal"`).
+    fn name(&self) -> &'static str;
+
+    /// Lazy-rule hook: this site exported a reference to its local object
+    /// `exported` to the remote object `recipient`.
+    fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr);
+
+    /// Lazy-rule hook: this site sent a reference denoting the remote object
+    /// `target` to the (also remote) object `recipient`.
+    fn on_third_party_send(&mut self, target: GlobalAddr, recipient: GlobalAddr);
+
+    /// Lazy-rule hook: the local object `recipient` received (and stored) a
+    /// reference to `target`.
+    fn on_receive_ref(&mut self, recipient: GlobalAddr, target: GlobalAddr);
+
+    /// A fresh reachability snapshot of this site's heap.
+    fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot);
+
+    /// An incoming control message from another site's engine.
+    fn on_message(&mut self, from: SiteId, message: Self::Msg);
+
+    /// Control messages to hand to the transport, as (destination, message).
+    fn take_outgoing(&mut self) -> Vec<(SiteId, Self::Msg)>;
+
+    /// Local objects newly proven to be unreachable from every remote site;
+    /// the cluster removes them from the heap's global root set.
+    fn take_verdicts(&mut self) -> Vec<GlobalAddr>;
+}
+
+/// Adapter running the paper's [`CausalEngine`] under the [`Collector`]
+/// interface.
+#[derive(Debug, Clone)]
+pub struct CausalCollector {
+    engine: CausalEngine,
+}
+
+impl CausalCollector {
+    /// Creates the causal collector for `site`.
+    pub fn new(site: SiteId) -> Self {
+        CausalCollector {
+            engine: CausalEngine::new(site),
+        }
+    }
+
+    /// Access to the wrapped engine (used by the harness to print the
+    /// Figure 5 / Figure 8 log contents).
+    pub fn engine(&self) -> &CausalEngine {
+        &self.engine
+    }
+}
+
+impl Collector for CausalCollector {
+    type Msg = CausalMessage;
+
+    fn name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr) {
+        self.engine.on_export(exported, VertexId::Object(recipient));
+    }
+
+    fn on_third_party_send(&mut self, target: GlobalAddr, recipient: GlobalAddr) {
+        self.engine
+            .on_third_party_send(target, VertexId::Object(recipient));
+    }
+
+    fn on_receive_ref(&mut self, recipient: GlobalAddr, target: GlobalAddr) {
+        self.engine.on_receive_ref(recipient, target);
+    }
+
+    fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
+        self.engine.apply_snapshot(snapshot);
+    }
+
+    fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
+        self.engine.on_message(message);
+    }
+
+    fn take_outgoing(&mut self) -> Vec<(SiteId, Self::Msg)> {
+        self.engine
+            .take_outgoing()
+            .into_iter()
+            .map(|out| (out.to_site, out.message))
+            .collect()
+    }
+
+    fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
+        self.engine.take_verdicts()
+    }
+}
+
+/// The payload the cluster puts on the wire: either an application message
+/// carrying an object reference, or a collector control message.
+#[derive(Debug, Clone)]
+pub enum SimPayload<M> {
+    /// A mutator message: `recipient` receives a reference to `target`.
+    Reference {
+        /// The object that receives the reference.
+        recipient: GlobalAddr,
+        /// The object whose reference is carried.
+        target: GlobalAddr,
+    },
+    /// A collector control message.
+    Control(M),
+}
+
+impl<M: Payload + Clone> Payload for SimPayload<M> {
+    fn class(&self) -> MessageClass {
+        match self {
+            SimPayload::Reference { .. } => MessageClass::Mutator,
+            SimPayload::Control(m) => m.class(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            SimPayload::Reference { .. } => "reference-transfer",
+            SimPayload::Control(m) => m.label(),
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            SimPayload::Reference { .. } => 48,
+            SimPayload::Control(m) => m.size_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_collector_adapts_engine_calls() {
+        let mut c = CausalCollector::new(SiteId::new(1));
+        assert_eq!(c.name(), "causal");
+        c.on_export(GlobalAddr::new(1, 5), GlobalAddr::new(0, 1));
+        c.on_third_party_send(GlobalAddr::new(3, 1), GlobalAddr::new(4, 1));
+        assert!(c.take_outgoing().is_empty(), "lazy rules send nothing");
+        assert!(c.take_verdicts().is_empty());
+        assert!(c.engine().stats().lazy_records >= 2);
+    }
+
+    #[test]
+    fn sim_payload_classifies_traffic() {
+        let reference: SimPayload<CausalMessage> = SimPayload::Reference {
+            recipient: GlobalAddr::new(0, 1),
+            target: GlobalAddr::new(1, 1),
+        };
+        assert_eq!(reference.class(), MessageClass::Mutator);
+        assert_eq!(reference.label(), "reference-transfer");
+        assert!(reference.size_hint() > 0);
+    }
+}
+
+/// Adapter running the reference-listing baseline under the [`Collector`]
+/// interface.
+#[derive(Debug, Clone)]
+pub struct RefListingCollector {
+    engine: ggd_baselines::RefListingEngine,
+}
+
+impl RefListingCollector {
+    /// Creates the reference-listing collector for `site`.
+    pub fn new(site: SiteId) -> Self {
+        RefListingCollector {
+            engine: ggd_baselines::RefListingEngine::new(site),
+        }
+    }
+
+    /// Access to the wrapped engine.
+    pub fn engine(&self) -> &ggd_baselines::RefListingEngine {
+        &self.engine
+    }
+}
+
+impl Collector for RefListingCollector {
+    type Msg = ggd_baselines::RefListingMessage;
+
+    fn name(&self) -> &'static str {
+        "reflisting"
+    }
+
+    fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr) {
+        self.engine.on_export(exported, recipient);
+    }
+
+    fn on_third_party_send(&mut self, target: GlobalAddr, recipient: GlobalAddr) {
+        self.engine.on_third_party_send(target, recipient);
+    }
+
+    fn on_receive_ref(&mut self, recipient: GlobalAddr, target: GlobalAddr) {
+        self.engine.on_receive_ref(recipient, target);
+    }
+
+    fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
+        self.engine.apply_snapshot(snapshot);
+    }
+
+    fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
+        self.engine.on_message(message);
+    }
+
+    fn take_outgoing(&mut self) -> Vec<(SiteId, Self::Msg)> {
+        self.engine.take_outgoing()
+    }
+
+    fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
+        self.engine.take_verdicts()
+    }
+}
+
+/// Adapter running the graph-tracing baseline under the [`Collector`]
+/// interface. Construct it with [`TracingCollector::factory`] so every site
+/// knows the total number of sites (the consensus requirement).
+#[derive(Debug, Clone)]
+pub struct TracingCollector {
+    engine: ggd_baselines::TracingEngine,
+}
+
+impl TracingCollector {
+    /// Creates the tracing collector for `site` in a system of `total_sites`.
+    pub fn new(site: SiteId, total_sites: u32) -> Self {
+        TracingCollector {
+            engine: ggd_baselines::TracingEngine::new(site, total_sites),
+        }
+    }
+
+    /// Returns a factory closure suitable for `Cluster::new` /
+    /// `Cluster::from_scenario`.
+    pub fn factory(total_sites: u32) -> impl Fn(SiteId) -> TracingCollector {
+        move |site| TracingCollector::new(site, total_sites)
+    }
+
+    /// Access to the wrapped engine.
+    pub fn engine(&self) -> &ggd_baselines::TracingEngine {
+        &self.engine
+    }
+}
+
+impl Collector for TracingCollector {
+    type Msg = ggd_baselines::TracingMessage;
+
+    fn name(&self) -> &'static str {
+        "tracing"
+    }
+
+    fn on_export(&mut self, _exported: GlobalAddr, _recipient: GlobalAddr) {}
+
+    fn on_third_party_send(&mut self, _target: GlobalAddr, _recipient: GlobalAddr) {}
+
+    fn on_receive_ref(&mut self, _recipient: GlobalAddr, _target: GlobalAddr) {}
+
+    fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
+        self.engine.apply_snapshot(snapshot);
+    }
+
+    fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
+        self.engine.on_message(message);
+    }
+
+    fn take_outgoing(&mut self) -> Vec<(SiteId, Self::Msg)> {
+        self.engine.take_outgoing()
+    }
+
+    fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
+        self.engine.take_verdicts()
+    }
+}

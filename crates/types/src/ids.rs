@@ -1,0 +1,409 @@
+//! Identifiers for sites, objects and log-keeping events.
+//!
+//! A distributed object system partitions its object graph over a number of
+//! independent address spaces, called *sites* in the paper (§2). An object is
+//! identified globally by the pair ([`SiteId`], [`ObjectId`]) — a
+//! [`GlobalAddr`]. Vertices of the *global root graph* are identified by the
+//! `GlobalAddr` of the corresponding global root (or, when the clustering
+//! granularity of §3.5 is selected, by their site).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::EventIndex;
+
+/// Identifier of a site, i.e. one independent address space of the
+/// partitioned object graph (§2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::SiteId;
+/// let s = SiteId::new(3);
+/// assert_eq!(s.index(), 3);
+/// assert_eq!(s.to_string(), "s3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// Creates a new site identifier from its numeric index.
+    pub const fn new(index: u32) -> Self {
+        SiteId(index)
+    }
+
+    /// Returns the numeric index of this site.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(index: u32) -> Self {
+        SiteId(index)
+    }
+}
+
+/// Identifier of an object within a single site.
+///
+/// Object identifiers are only meaningful relative to their site; the
+/// globally unique name of an object is its [`GlobalAddr`].
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::ObjectId;
+/// let o = ObjectId::new(42);
+/// assert_eq!(o.index(), 42);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Creates a new object identifier from its numeric index.
+    pub const fn new(index: u64) -> Self {
+        ObjectId(index)
+    }
+
+    /// Returns the numeric index of this object within its site.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(index: u64) -> Self {
+        ObjectId(index)
+    }
+}
+
+/// Globally unique address of an object: the pair (site, object).
+///
+/// `GlobalAddr` is the identity used for vertices of the global root graph
+/// and as the key space of [`DependencyVector`](crate::DependencyVector)s.
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::{GlobalAddr, ObjectId, SiteId};
+/// let a = GlobalAddr::new(1, 7);
+/// assert_eq!(a.site(), SiteId::new(1));
+/// assert_eq!(a.object(), ObjectId::new(7));
+/// assert_eq!(a.to_string(), "s1/o7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GlobalAddr {
+    site: SiteId,
+    object: ObjectId,
+}
+
+impl GlobalAddr {
+    /// Creates a global address from raw site and object indices.
+    pub const fn new(site: u32, object: u64) -> Self {
+        GlobalAddr {
+            site: SiteId::new(site),
+            object: ObjectId::new(object),
+        }
+    }
+
+    /// Creates a global address from already-typed identifiers.
+    pub const fn from_parts(site: SiteId, object: ObjectId) -> Self {
+        GlobalAddr { site, object }
+    }
+
+    /// Returns the site component of the address.
+    pub const fn site(self) -> SiteId {
+        self.site
+    }
+
+    /// Returns the object component of the address.
+    pub const fn object(self) -> ObjectId {
+        self.object
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.site, self.object)
+    }
+}
+
+impl From<(SiteId, ObjectId)> for GlobalAddr {
+    fn from((site, object): (SiteId, ObjectId)) -> Self {
+        GlobalAddr { site, object }
+    }
+}
+
+/// Identity of one log-keeping event: the vertex at which it occurred plus
+/// its per-vertex sequence number (the paper's `e_{i,j}` notation, §3.1).
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::{EventId, EventIndex, GlobalAddr};
+/// let e = EventId::new(GlobalAddr::new(3, 1), EventIndex::new(2).unwrap());
+/// assert_eq!(e.to_string(), "e(s3/o1,2)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId {
+    vertex: GlobalAddr,
+    index: EventIndex,
+}
+
+impl EventId {
+    /// Creates an event identity from a vertex and its event sequence number.
+    pub const fn new(vertex: GlobalAddr, index: EventIndex) -> Self {
+        EventId { vertex, index }
+    }
+
+    /// The vertex (global root) at which the event occurred.
+    pub const fn vertex(self) -> GlobalAddr {
+        self.vertex
+    }
+
+    /// The per-vertex sequence number of the event.
+    pub const fn index(self) -> EventIndex {
+        self.index
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e({},{})", self.vertex, self.index)
+    }
+}
+
+/// Identity of a vertex of the *global root graph* (§2.2 of the paper).
+///
+/// The global root graph has two kinds of vertices:
+///
+/// * [`VertexId::Object`] — a *global root*: an object that has been
+///   referenced from another site at least once;
+/// * [`VertexId::SiteRoot`] — the *actual-root anchor* of a site: it stands
+///   for the site's local root set (the paper's designated root objects,
+///   e.g. object 1 of Figure 3) and is always an actual root of the global
+///   root graph while it holds outgoing inter-site paths.
+///
+/// Dependency vectors are keyed by `VertexId`, so a vector entry keyed by a
+/// `SiteRoot` that is still live is exactly the paper's "path from an actual
+/// root" evidence used by the garbage test of Figure 6.
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::{GlobalAddr, VertexId};
+/// let g = VertexId::object(2, 7);
+/// let r = VertexId::site_root(1);
+/// assert!(g.as_object().is_some());
+/// assert!(r.is_site_root());
+/// assert_eq!(g.to_string(), "s2/o7");
+/// assert_eq!(r.to_string(), "root(s1)");
+/// assert_eq!(VertexId::from(GlobalAddr::new(2, 7)), g);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VertexId {
+    /// The anchor vertex standing for a site's local root set.
+    SiteRoot(SiteId),
+    /// A global root object.
+    Object(GlobalAddr),
+}
+
+impl VertexId {
+    /// Creates the vertex for a global-root object from raw indices.
+    pub const fn object(site: u32, object: u64) -> Self {
+        VertexId::Object(GlobalAddr::new(site, object))
+    }
+
+    /// Creates the actual-root anchor vertex of a site.
+    pub const fn site_root(site: u32) -> Self {
+        VertexId::SiteRoot(SiteId::new(site))
+    }
+
+    /// The site hosting this vertex.
+    pub const fn site(self) -> SiteId {
+        match self {
+            VertexId::SiteRoot(s) => s,
+            VertexId::Object(a) => a.site(),
+        }
+    }
+
+    /// The object address, when the vertex is a global root.
+    pub const fn as_object(self) -> Option<GlobalAddr> {
+        match self {
+            VertexId::SiteRoot(_) => None,
+            VertexId::Object(a) => Some(a),
+        }
+    }
+
+    /// True when the vertex is a site's actual-root anchor.
+    pub const fn is_site_root(self) -> bool {
+        matches!(self, VertexId::SiteRoot(_))
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexId::SiteRoot(s) => write!(f, "root({s})"),
+            VertexId::Object(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl From<GlobalAddr> for VertexId {
+    fn from(addr: GlobalAddr) -> Self {
+        VertexId::Object(addr)
+    }
+}
+
+/// Granularity at which log-keeping information is maintained (§3.5).
+///
+/// The paper notes that individual remote objects need not be distinguished:
+/// collocated objects can be lumped together into one "process". The default
+/// granularity used by the worked example is per-object; the Amadeus
+/// implementation referenced by the paper clusters per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Granularity {
+    /// One log-keeping "process" per global root (the paper's Figures 3–5).
+    #[default]
+    PerObject,
+    /// One log-keeping "process" per site (the clustering of §3.5).
+    PerSite,
+}
+
+impl Granularity {
+    /// Maps a global root to the key of the log-keeping "process" that
+    /// accounts for it under this granularity.
+    pub fn cluster_of(self, addr: GlobalAddr) -> ClusterKey {
+        match self {
+            Granularity::PerObject => ClusterKey::Object(addr),
+            Granularity::PerSite => ClusterKey::Site(addr.site()),
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::PerObject => write!(f, "per-object"),
+            Granularity::PerSite => write!(f, "per-site"),
+        }
+    }
+}
+
+/// Key of a log-keeping "process" under a given [`Granularity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ClusterKey {
+    /// The process is a single global root.
+    Object(GlobalAddr),
+    /// The process is a whole site.
+    Site(SiteId),
+}
+
+impl fmt::Display for ClusterKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterKey::Object(a) => write!(f, "{a}"),
+            ClusterKey::Site(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_and_object_round_trip() {
+        let s = SiteId::new(9);
+        assert_eq!(SiteId::from(9), s);
+        assert_eq!(s.index(), 9);
+        let o = ObjectId::new(123);
+        assert_eq!(ObjectId::from(123), o);
+        assert_eq!(o.index(), 123);
+    }
+
+    #[test]
+    fn global_addr_accessors_and_display() {
+        let a = GlobalAddr::new(2, 5);
+        assert_eq!(a.site(), SiteId::new(2));
+        assert_eq!(a.object(), ObjectId::new(5));
+        assert_eq!(a.to_string(), "s2/o5");
+        let b: GlobalAddr = (SiteId::new(2), ObjectId::new(5)).into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_addr_orders_by_site_then_object() {
+        let a = GlobalAddr::new(1, 99);
+        let b = GlobalAddr::new(2, 0);
+        let c = GlobalAddr::new(2, 1);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn event_id_display() {
+        let e = EventId::new(GlobalAddr::new(4, 2), EventIndex::new(7).unwrap());
+        assert_eq!(e.vertex(), GlobalAddr::new(4, 2));
+        assert_eq!(e.index().get(), 7);
+        assert_eq!(e.to_string(), "e(s4/o2,7)");
+    }
+
+    #[test]
+    fn granularity_clustering() {
+        let a = GlobalAddr::new(3, 8);
+        assert_eq!(
+            Granularity::PerObject.cluster_of(a),
+            ClusterKey::Object(a)
+        );
+        assert_eq!(
+            Granularity::PerSite.cluster_of(a),
+            ClusterKey::Site(SiteId::new(3))
+        );
+        assert_eq!(Granularity::default(), Granularity::PerObject);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = GlobalAddr::new(1, 2);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: GlobalAddr = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SiteId::new(0).to_string(), "s0");
+        assert_eq!(ObjectId::new(0).to_string(), "o0");
+        assert_eq!(Granularity::PerSite.to_string(), "per-site");
+        assert_eq!(Granularity::PerObject.to_string(), "per-object");
+        assert_eq!(
+            ClusterKey::Site(SiteId::new(1)).to_string(),
+            "s1".to_string()
+        );
+        assert_eq!(
+            ClusterKey::Object(GlobalAddr::new(1, 1)).to_string(),
+            "s1/o1".to_string()
+        );
+    }
+}

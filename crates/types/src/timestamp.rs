@@ -1,0 +1,304 @@
+//! Event indices and log-keeping timestamps.
+//!
+//! Log-keeping events are numbered sequentially at each vertex of the global
+//! root graph with a monotonically increasing counter (§3.1 of the paper).
+//! An entry of a dependency vector is one of three things:
+//!
+//! * `0` — no log-keeping message has ever been received from the
+//!   corresponding global root ([`Timestamp::Never`]);
+//! * a plain index — the timestamp of the latest *edge-creation* event known
+//!   from that root ([`Timestamp::Created`]);
+//! * `Ē` — the timestamp of the direct remote predecessor of an
+//!   *edge-destruction* event, meaning the last log-keeping message received
+//!   from that root announced that the edge no longer exists
+//!   ([`Timestamp::Destroyed`]).
+//!
+//! The paper's predicate `A(x)` — "the entry denotes the absence of a live
+//! edge" — holds for `0` and `Ē`; it is exposed here as
+//! [`Timestamp::is_absent`]. When vector-times are compared for reachability
+//! purposes a destroyed entry is treated "as if no edge creation event had
+//! ever been sent from this global root" (§3.2), which is what
+//! [`Timestamp::live_index`] encodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::num::NonZeroU64;
+
+use crate::TypeError;
+
+/// A strictly positive, per-vertex log-keeping event sequence number.
+///
+/// Index `0` is reserved to mean "no event"; the first event of every vertex
+/// has index `1`, matching the paper's `e_{i,1}` notation.
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::EventIndex;
+/// let first = EventIndex::new(1).unwrap();
+/// assert_eq!(first.get(), 1);
+/// assert_eq!(first.next().get(), 2);
+/// assert!(EventIndex::new(0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventIndex(NonZeroU64);
+
+impl EventIndex {
+    /// The first event index assigned at any vertex.
+    pub const FIRST: EventIndex = EventIndex(match NonZeroU64::new(1) {
+        Some(n) => n,
+        None => unreachable!(),
+    });
+
+    /// Creates an event index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::ZeroEventIndex`] when `index` is zero.
+    pub fn new(index: u64) -> crate::Result<Self> {
+        NonZeroU64::new(index)
+            .map(EventIndex)
+            .ok_or(TypeError::ZeroEventIndex)
+    }
+
+    /// Returns the numeric value of the index.
+    pub const fn get(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Returns the next index in the per-vertex sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter would overflow `u64`, which cannot happen in
+    /// any realistic execution.
+    pub fn next(self) -> Self {
+        EventIndex(NonZeroU64::new(self.0.get() + 1).expect("event index overflow"))
+    }
+}
+
+impl fmt::Display for EventIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One entry of a dependency vector: what is known about the latest
+/// log-keeping event of a given global root.
+///
+/// The ordering of timestamps follows the information lattice used by the
+/// GGD algorithm: entries are compared by event index first (newer indices
+/// supersede older ones), and at equal index a destruction marker supersedes
+/// a creation, because `Ē` carries strictly more recent knowledge about the
+/// same event counter ("the last message received from this root was an
+/// edge-destruction message", §3.1).
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::Timestamp;
+/// let never = Timestamp::Never;
+/// let created = Timestamp::created(3);
+/// let destroyed = Timestamp::destroyed(3);
+/// assert!(never < created);
+/// assert!(created < destroyed);
+/// assert!(destroyed < Timestamp::created(4));
+/// assert!(never.is_absent() && destroyed.is_absent() && !created.is_absent());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Timestamp {
+    /// No log-keeping message has ever been received from this root
+    /// (the paper's `0`).
+    #[default]
+    Never,
+    /// The latest known log-keeping event of this root, with a live edge
+    /// created towards the vector's owner.
+    Created(EventIndex),
+    /// The paper's `Ē`: the latest known log-keeping event index of this
+    /// root, with the additional knowledge that the corresponding edge has
+    /// since been destroyed.
+    Destroyed(EventIndex),
+}
+
+impl Timestamp {
+    /// Builds a [`Timestamp::Created`] from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is zero; use [`Timestamp::Never`] for "no event".
+    pub fn created(index: u64) -> Self {
+        Timestamp::Created(EventIndex::new(index).expect("creation timestamp must be positive"))
+    }
+
+    /// Builds a [`Timestamp::Destroyed`] from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is zero; use [`Timestamp::Never`] for "no event".
+    pub fn destroyed(index: u64) -> Self {
+        Timestamp::Destroyed(EventIndex::new(index).expect("destruction timestamp must be positive"))
+    }
+
+    /// The paper's predicate `A(x)`: true when the entry denotes the absence
+    /// of a live inbound edge — either no event was ever received (`0`) or
+    /// the last news was an edge destruction (`Ē`).
+    pub const fn is_absent(self) -> bool {
+        matches!(self, Timestamp::Never | Timestamp::Destroyed(_))
+    }
+
+    /// True when the entry denotes a live edge-creation event.
+    pub const fn is_live(self) -> bool {
+        matches!(self, Timestamp::Created(_))
+    }
+
+    /// The raw event index carried by this entry (`0` for [`Timestamp::Never`]).
+    pub const fn index(self) -> u64 {
+        match self {
+            Timestamp::Never => 0,
+            Timestamp::Created(i) | Timestamp::Destroyed(i) => i.get(),
+        }
+    }
+
+    /// The event index counted as contributing a live path: destroyed and
+    /// absent entries both report `0`, as mandated by §3.2 ("treated as if no
+    /// edge creation event had ever been sent from this global root").
+    pub const fn live_index(self) -> u64 {
+        match self {
+            Timestamp::Created(i) => i.get(),
+            Timestamp::Never | Timestamp::Destroyed(_) => 0,
+        }
+    }
+
+    /// Turns this entry into its destroyed counterpart, preserving the index.
+    ///
+    /// [`Timestamp::Never`] stays `Never` (there is nothing to destroy).
+    pub const fn into_destroyed(self) -> Self {
+        match self {
+            Timestamp::Never => Timestamp::Never,
+            Timestamp::Created(i) | Timestamp::Destroyed(i) => Timestamp::Destroyed(i),
+        }
+    }
+
+    /// Merges two pieces of knowledge about the same root, keeping the most
+    /// recent one (the lattice join used when merging dependency vectors).
+    pub fn merged(self, other: Timestamp) -> Timestamp {
+        self.max(other)
+    }
+
+    /// True when `self` carries strictly newer information than `other`.
+    pub fn is_newer_than(self, other: Timestamp) -> bool {
+        self > other
+    }
+}
+
+impl PartialOrd for Timestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    /// Orders entries by the freshness of the information they carry: by
+    /// event index first, and at equal index a destruction marker is newer
+    /// than a creation (it reports the subsequent fate of the same edge).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let key = |t: &Timestamp| (t.index(), matches!(t, Timestamp::Destroyed(_)) as u8);
+        key(self).cmp(&key(other))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timestamp::Never => write!(f, "0"),
+            Timestamp::Created(i) => write!(f, "{i}"),
+            Timestamp::Destroyed(i) => write!(f, "Ē{i}"),
+        }
+    }
+}
+
+impl From<EventIndex> for Timestamp {
+    fn from(index: EventIndex) -> Self {
+        Timestamp::Created(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_index_basics() {
+        assert_eq!(EventIndex::FIRST.get(), 1);
+        assert_eq!(EventIndex::new(5).unwrap().get(), 5);
+        assert_eq!(EventIndex::new(5).unwrap().next().get(), 6);
+        assert_eq!(EventIndex::new(0).unwrap_err(), TypeError::ZeroEventIndex);
+        assert_eq!(EventIndex::new(3).unwrap().to_string(), "3");
+    }
+
+    #[test]
+    fn timestamp_predicates() {
+        assert!(Timestamp::Never.is_absent());
+        assert!(Timestamp::destroyed(4).is_absent());
+        assert!(!Timestamp::created(4).is_absent());
+        assert!(Timestamp::created(4).is_live());
+        assert!(!Timestamp::destroyed(4).is_live());
+        assert!(!Timestamp::Never.is_live());
+    }
+
+    #[test]
+    fn timestamp_indices() {
+        assert_eq!(Timestamp::Never.index(), 0);
+        assert_eq!(Timestamp::created(7).index(), 7);
+        assert_eq!(Timestamp::destroyed(7).index(), 7);
+        assert_eq!(Timestamp::Never.live_index(), 0);
+        assert_eq!(Timestamp::created(7).live_index(), 7);
+        assert_eq!(Timestamp::destroyed(7).live_index(), 0);
+    }
+
+    #[test]
+    fn timestamp_ordering_is_by_index_then_destruction() {
+        assert!(Timestamp::Never < Timestamp::created(1));
+        assert!(Timestamp::created(1) < Timestamp::destroyed(1));
+        assert!(Timestamp::destroyed(1) < Timestamp::created(2));
+        assert!(Timestamp::created(2) < Timestamp::destroyed(3));
+    }
+
+    #[test]
+    fn merge_keeps_newest() {
+        let a = Timestamp::created(2);
+        let b = Timestamp::destroyed(2);
+        assert_eq!(a.merged(b), b);
+        assert_eq!(b.merged(a), b);
+        assert_eq!(Timestamp::Never.merged(a), a);
+        assert_eq!(a.merged(Timestamp::created(5)), Timestamp::created(5));
+        assert!(b.is_newer_than(a));
+        assert!(!a.is_newer_than(b));
+    }
+
+    #[test]
+    fn into_destroyed_preserves_index() {
+        assert_eq!(Timestamp::created(9).into_destroyed(), Timestamp::destroyed(9));
+        assert_eq!(Timestamp::destroyed(9).into_destroyed(), Timestamp::destroyed(9));
+        assert_eq!(Timestamp::Never.into_destroyed(), Timestamp::Never);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Timestamp::Never.to_string(), "0");
+        assert_eq!(Timestamp::created(3).to_string(), "3");
+        assert_eq!(Timestamp::destroyed(3).to_string(), "Ē3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn created_zero_panics() {
+        let _ = Timestamp::created(0);
+    }
+
+    #[test]
+    fn from_event_index_is_created() {
+        let idx = EventIndex::new(2).unwrap();
+        assert_eq!(Timestamp::from(idx), Timestamp::created(2));
+    }
+}

@@ -1,0 +1,469 @@
+//! Sparse dependency vectors and the vector-time partial order.
+//!
+//! The GGD algorithm manipulates two flavours of the same structure (§3.2 of
+//! the paper): the *direct dependency vector* (DDV) maintained by lazy
+//! log-keeping, and the *full vector-time* obtained by transitively merging
+//! DDVs along the edges of the global root graph. Both are represented by
+//! [`DependencyVector`]: a sparse map from global-root identity to
+//! [`Timestamp`].
+//!
+//! Sparseness matters: the vertex set of the global root graph is dynamic, so
+//! fixed-dimension arrays (as used in the paper's 4-object illustration) do
+//! not generalise. A missing key is equivalent to an explicit
+//! [`Timestamp::Never`] entry, and the comparison and merge operations honour
+//! that equivalence.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{VertexId, Timestamp};
+
+/// Outcome of comparing two dependency vectors under the Schwarz & Mattern
+/// partial order (§3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CausalOrder {
+    /// The two vectors are identical.
+    Equal,
+    /// The left vector causally precedes the right one (`V(a) < V(b)`).
+    Before,
+    /// The right vector causally precedes the left one.
+    After,
+    /// Neither dominates the other: the underlying events are concurrent.
+    Concurrent,
+}
+
+impl fmt::Display for CausalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CausalOrder::Equal => "equal",
+            CausalOrder::Before => "before",
+            CausalOrder::After => "after",
+            CausalOrder::Concurrent => "concurrent",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A sparse dependency vector: the best known timestamp of the latest
+/// log-keeping event of each global root.
+///
+/// The same type represents both the paper's DDV and its full vector-time;
+/// what differs is how much transitive knowledge has been merged in.
+///
+/// # Example
+///
+/// ```
+/// use ggd_types::{DependencyVector, VertexId, Timestamp};
+/// let a = VertexId::object(1, 1);
+/// let b = VertexId::object(2, 1);
+///
+/// let mut v = DependencyVector::new();
+/// v.set(a, Timestamp::created(1));
+/// v.set(b, Timestamp::destroyed(2));
+///
+/// assert_eq!(v.get(a), Timestamp::created(1));
+/// assert_eq!(v.get(VertexId::object(9, 9)), Timestamp::Never);
+/// assert!(v.get(b).is_absent());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(
+    from = "Vec<(VertexId, Timestamp)>",
+    into = "Vec<(VertexId, Timestamp)>"
+)]
+pub struct DependencyVector {
+    entries: BTreeMap<VertexId, Timestamp>,
+}
+
+impl From<Vec<(VertexId, Timestamp)>> for DependencyVector {
+    fn from(entries: Vec<(VertexId, Timestamp)>) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl From<DependencyVector> for Vec<(VertexId, Timestamp)> {
+    fn from(v: DependencyVector) -> Self {
+        v.entries.into_iter().collect()
+    }
+}
+
+impl DependencyVector {
+    /// Creates an empty vector (every entry implicitly [`Timestamp::Never`]).
+    pub fn new() -> Self {
+        DependencyVector {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a vector holding a single entry.
+    pub fn singleton(addr: VertexId, ts: Timestamp) -> Self {
+        let mut v = DependencyVector::new();
+        v.set(addr, ts);
+        v
+    }
+
+    /// Returns the timestamp recorded for `addr`, defaulting to
+    /// [`Timestamp::Never`] for unknown roots.
+    pub fn get(&self, addr: VertexId) -> Timestamp {
+        self.entries.get(&addr).copied().unwrap_or(Timestamp::Never)
+    }
+
+    /// Sets the entry for `addr`, returning the previous value.
+    ///
+    /// Setting an entry to [`Timestamp::Never`] removes it from the sparse
+    /// representation so that logically equal vectors compare equal.
+    pub fn set(&mut self, addr: VertexId, ts: Timestamp) -> Timestamp {
+        let prev = self.get(addr);
+        if ts == Timestamp::Never {
+            self.entries.remove(&addr);
+        } else {
+            self.entries.insert(addr, ts);
+        }
+        prev
+    }
+
+    /// Merges newer knowledge about a single root into this vector, keeping
+    /// whichever entry is fresher. Returns `true` when the entry changed.
+    pub fn merge_entry(&mut self, addr: VertexId, ts: Timestamp) -> bool {
+        let current = self.get(addr);
+        let merged = current.merged(ts);
+        if merged != current {
+            self.set(addr, merged);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Point-wise merge (lattice join) of another vector into this one.
+    /// Returns `true` when any entry changed.
+    pub fn merge(&mut self, other: &DependencyVector) -> bool {
+        let mut changed = false;
+        for (&addr, &ts) in &other.entries {
+            changed |= self.merge_entry(addr, ts);
+        }
+        changed
+    }
+
+    /// Returns the point-wise merge of two vectors without mutating either.
+    pub fn merged_with(&self, other: &DependencyVector) -> DependencyVector {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Number of explicit (non-`Never`) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the vector has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every explicit entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the explicit entries in key order.
+    pub fn iter(&self) -> VectorEntries<'_> {
+        VectorEntries {
+            inner: self.entries.iter(),
+        }
+    }
+
+    /// The set of roots for which this vector records a *live* (creation)
+    /// entry — i.e. the roots through which a live path may still exist.
+    pub fn live_support(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, ts)| ts.is_live())
+            .map(|(&addr, _)| addr)
+    }
+
+    /// True when the vector records a live entry for any of the given roots.
+    ///
+    /// This is the garbage test of Fig. 6: a global root whose fully
+    /// reconstructed vector-time has no live entry for any *actual root* is
+    /// unreachable from every root and hence garbage.
+    pub fn has_live_entry_among<I>(&self, roots: I) -> bool
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        roots.into_iter().any(|r| self.get(r).is_live())
+    }
+
+    /// Compares two vectors under the Schwarz & Mattern partial order,
+    /// counting destroyed entries as "no live edge ever created" (§3.2).
+    pub fn causal_order(&self, other: &DependencyVector) -> CausalOrder {
+        let mut less = false;
+        let mut greater = false;
+        for addr in self.keys_union(other) {
+            let a = self.get(addr).live_index();
+            let b = other.get(addr).live_index();
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (true, true) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// True when `self` causally precedes `other` (strictly, `V(a) < V(b)`).
+    pub fn causally_precedes(&self, other: &DependencyVector) -> bool {
+        self.causal_order(other) == CausalOrder::Before
+    }
+
+    /// True when `self ≤ other` under the live-index partial order.
+    pub fn dominated_by(&self, other: &DependencyVector) -> bool {
+        matches!(
+            self.causal_order(other),
+            CausalOrder::Before | CausalOrder::Equal
+        )
+    }
+
+    /// Renders the vector as the fixed-dimension tuple notation of the
+    /// paper's Figure 5, using `order` as the dimension ordering.
+    ///
+    /// Roots missing from the vector print as `0`.
+    pub fn display_as_tuple(&self, order: &[VertexId]) -> String {
+        let cells: Vec<String> = order.iter().map(|a| self.get(*a).to_string()).collect();
+        format!("({})", cells.join(","))
+    }
+
+    fn keys_union<'a>(
+        &'a self,
+        other: &'a DependencyVector,
+    ) -> impl Iterator<Item = VertexId> + 'a {
+        let mut keys: Vec<VertexId> = self
+            .entries
+            .keys()
+            .chain(other.entries.keys())
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter()
+    }
+}
+
+impl fmt::Display for DependencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (addr, ts)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{addr}:{ts}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(VertexId, Timestamp)> for DependencyVector {
+    fn from_iter<T: IntoIterator<Item = (VertexId, Timestamp)>>(iter: T) -> Self {
+        let mut v = DependencyVector::new();
+        for (addr, ts) in iter {
+            v.merge_entry(addr, ts);
+        }
+        v
+    }
+}
+
+impl Extend<(VertexId, Timestamp)> for DependencyVector {
+    fn extend<T: IntoIterator<Item = (VertexId, Timestamp)>>(&mut self, iter: T) {
+        for (addr, ts) in iter {
+            self.merge_entry(addr, ts);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DependencyVector {
+    type Item = (VertexId, Timestamp);
+    type IntoIter = VectorEntries<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the explicit entries of a [`DependencyVector`], in key
+/// order. Produced by [`DependencyVector::iter`].
+#[derive(Debug, Clone)]
+pub struct VectorEntries<'a> {
+    inner: std::collections::btree_map::Iter<'a, VertexId, Timestamp>,
+}
+
+impl<'a> Iterator for VectorEntries<'a> {
+    type Item = (VertexId, Timestamp);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(&a, &t)| (a, t))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for VectorEntries<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> VertexId {
+        VertexId::object(1, 1)
+    }
+    fn b() -> VertexId {
+        VertexId::object(2, 1)
+    }
+    fn c() -> VertexId {
+        VertexId::object(3, 1)
+    }
+
+    #[test]
+    fn get_defaults_to_never() {
+        let v = DependencyVector::new();
+        assert_eq!(v.get(a()), Timestamp::Never);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn set_never_removes_entry() {
+        let mut v = DependencyVector::singleton(a(), Timestamp::created(1));
+        assert_eq!(v.len(), 1);
+        let prev = v.set(a(), Timestamp::Never);
+        assert_eq!(prev, Timestamp::created(1));
+        assert!(v.is_empty());
+        assert_eq!(v, DependencyVector::new());
+    }
+
+    #[test]
+    fn merge_entry_keeps_freshest() {
+        let mut v = DependencyVector::new();
+        assert!(v.merge_entry(a(), Timestamp::created(2)));
+        assert!(!v.merge_entry(a(), Timestamp::created(1)));
+        assert!(v.merge_entry(a(), Timestamp::destroyed(2)));
+        assert!(!v.merge_entry(a(), Timestamp::created(2)));
+        assert_eq!(v.get(a()), Timestamp::destroyed(2));
+    }
+
+    #[test]
+    fn merge_is_pointwise_join() {
+        let mut left = DependencyVector::new();
+        left.set(a(), Timestamp::created(3));
+        left.set(b(), Timestamp::created(1));
+
+        let mut right = DependencyVector::new();
+        right.set(b(), Timestamp::destroyed(1));
+        right.set(c(), Timestamp::created(4));
+
+        let joined = left.merged_with(&right);
+        assert_eq!(joined.get(a()), Timestamp::created(3));
+        assert_eq!(joined.get(b()), Timestamp::destroyed(1));
+        assert_eq!(joined.get(c()), Timestamp::created(4));
+
+        let mut again = left.clone();
+        assert!(again.merge(&right));
+        assert!(!again.merge(&right));
+        assert_eq!(again, joined);
+    }
+
+    #[test]
+    fn causal_order_matches_schwarz_mattern() {
+        let mut earlier = DependencyVector::new();
+        earlier.set(a(), Timestamp::created(1));
+        let mut later = earlier.clone();
+        later.set(b(), Timestamp::created(1));
+
+        assert_eq!(earlier.causal_order(&later), CausalOrder::Before);
+        assert_eq!(later.causal_order(&earlier), CausalOrder::After);
+        assert_eq!(earlier.causal_order(&earlier), CausalOrder::Equal);
+        assert!(earlier.causally_precedes(&later));
+        assert!(earlier.dominated_by(&later));
+        assert!(earlier.dominated_by(&earlier));
+
+        let mut other = DependencyVector::new();
+        other.set(c(), Timestamp::created(1));
+        assert_eq!(earlier.causal_order(&other), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn destroyed_entries_count_as_zero_in_causal_order() {
+        // A vector whose only knowledge of `a` is a destruction marker is
+        // equivalent, for reachability, to one that never heard from `a`.
+        let with_destroyed = DependencyVector::singleton(a(), Timestamp::destroyed(5));
+        let empty = DependencyVector::new();
+        assert_eq!(with_destroyed.causal_order(&empty), CausalOrder::Equal);
+    }
+
+    #[test]
+    fn live_support_and_roots() {
+        let mut v = DependencyVector::new();
+        v.set(a(), Timestamp::created(1));
+        v.set(b(), Timestamp::destroyed(2));
+        v.set(c(), Timestamp::created(3));
+        let live: Vec<_> = v.live_support().collect();
+        assert_eq!(live, vec![a(), c()]);
+        assert!(v.has_live_entry_among([a()]));
+        assert!(!v.has_live_entry_among([b()]));
+        assert!(v.has_live_entry_among([b(), c()]));
+        assert!(!v.has_live_entry_among(std::iter::empty()));
+    }
+
+    #[test]
+    fn tuple_display_matches_figure_5_layout() {
+        let order = [a(), b(), c()];
+        let mut v = DependencyVector::new();
+        v.set(a(), Timestamp::created(1));
+        v.set(c(), Timestamp::destroyed(2));
+        assert_eq!(v.display_as_tuple(&order), "(1,0,Ē2)");
+        assert_eq!(DependencyVector::new().display_as_tuple(&order), "(0,0,0)");
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let v: DependencyVector = vec![
+            (a(), Timestamp::created(1)),
+            (b(), Timestamp::created(2)),
+            (a(), Timestamp::created(3)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(v.get(a()), Timestamp::created(3));
+        assert_eq!(v.iter().len(), 2);
+        let entries: Vec<_> = (&v).into_iter().collect();
+        assert_eq!(entries[0], (a(), Timestamp::created(3)));
+
+        let mut w = DependencyVector::new();
+        w.extend(entries);
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(DependencyVector::new().to_string(), "{}");
+        let v = DependencyVector::singleton(a(), Timestamp::created(1));
+        assert_eq!(v.to_string(), "{s1/o1:1}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut v = DependencyVector::new();
+        v.set(a(), Timestamp::created(1));
+        v.set(b(), Timestamp::destroyed(7));
+        let json = serde_json::to_string(&v).unwrap();
+        let back: DependencyVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,45 @@
+//! The §4 workload: a doubly-linked list spread over k sites is disconnected
+//! from its root and must be reclaimed. Prints how many messages each
+//! collector needs as k grows — the comparison the paper makes against
+//! Schelvis' timestamp packets.
+//!
+//! ```sh
+//! cargo run --release --example linked_list_collapse
+//! ```
+
+use ggd::prelude::*;
+
+fn main() {
+    println!("== collapsing a doubly-linked list of k elements (one per site) ==");
+    println!("{:>4} {:>10} {:>12} {:>12} {:>10}", "k", "collector", "ctrl msgs", "reclaimed", "residual");
+    for k in [2u32, 4, 8, 16, 24] {
+        let scenario = workloads::doubly_linked_list(k);
+
+        let mut causal =
+            Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+        let report = causal.run(&scenario);
+        println!(
+            "{:>4} {:>10} {:>12} {:>12} {:>10}",
+            k,
+            report.collector,
+            report.control_messages(),
+            report.reclaimed,
+            report.residual_garbage
+        );
+
+        let mut tracing = Cluster::from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        let report = tracing.run(&scenario);
+        println!(
+            "{:>4} {:>10} {:>12} {:>12} {:>10}",
+            k,
+            report.collector,
+            report.control_messages(),
+            report.reclaimed,
+            report.residual_garbage
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Replays the running example of the paper step by step and dumps the
+//! per-site `DK` logs after the run — the information shown in Figures 5
+//! and 8 of the paper (up to the renumbering documented in DESIGN.md).
+//!
+//! ```sh
+//! cargo run --example paper_example
+//! ```
+
+use ggd::prelude::*;
+
+fn main() {
+    let scenario = workloads::paper_example();
+    let mut cluster =
+        Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+    let report = cluster.run(&scenario);
+
+    println!("== the global root graph of Figure 3, one object per site ==");
+    println!("site 0: object 1 (the actual root)   site 1: object 2");
+    println!("site 2: object 3                     site 3: object 4");
+    println!();
+    println!("{report}");
+    println!();
+    println!("== per-site DK logs after GGD has quiesced (cf. Figure 8) ==");
+    for i in 0..scenario.site_count() {
+        let site = SiteId::new(i);
+        println!("--- {site}");
+        print!("{}", cluster.collector(site).engine().log());
+    }
+    println!();
+    println!("== outcome ==");
+    for i in 0..scenario.site_count() {
+        let site = SiteId::new(i);
+        let heap = cluster.heap(site);
+        let survivors: Vec<String> = heap.iter().map(|o| o.id().to_string()).collect();
+        println!("{site}: surviving objects: [{}]", survivors.join(", "));
+    }
+    println!("(only the root object on site 0 must survive)");
+}
