@@ -22,9 +22,6 @@
 //! reachability snapshots, incoming messages), so the `ggd-sim` cluster can
 //! swap them in transparently.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod reflisting;
 mod tracing;
 

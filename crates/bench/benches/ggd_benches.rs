@@ -16,10 +16,20 @@ fn bench_vector_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector");
     for size in [8usize, 64, 256] {
         let a: DependencyVector = (0..size)
-            .map(|i| (VertexId::object(i as u32, 1), Timestamp::created(i as u64 + 1)))
+            .map(|i| {
+                (
+                    VertexId::object(i as u32, 1),
+                    Timestamp::created(i as u64 + 1),
+                )
+            })
             .collect();
         let b: DependencyVector = (0..size)
-            .map(|i| (VertexId::object(i as u32, 1), Timestamp::created(i as u64 + 2)))
+            .map(|i| {
+                (
+                    VertexId::object(i as u32, 1),
+                    Timestamp::created(i as u64 + 2),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("merge", size), &size, |bencher, _| {
             bencher.iter(|| a.merged_with(&b));
@@ -35,8 +45,12 @@ fn bench_closure(c: &mut Criterion) {
         for i in 0..chain {
             let this = VertexId::object(i as u32, 1);
             let next = VertexId::object(i as u32 + 1, 1);
-            log.row_mut(next).vector.set(this, Timestamp::created(i + 1));
-            log.row_mut(this).vector.set(this, Timestamp::created(i + 1));
+            log.row_mut(next)
+                .vector
+                .set(this, Timestamp::created(i + 1));
+            log.row_mut(this)
+                .vector
+                .set(this, Timestamp::created(i + 1));
         }
         let subject = VertexId::object(chain as u32, 1);
         group.bench_with_input(BenchmarkId::new("chain", chain), &chain, |bencher, _| {

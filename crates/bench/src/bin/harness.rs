@@ -31,25 +31,38 @@ fn main() {
         );
     }
     if wanted(&args, "e4") {
-        let rows = bench::experiment_faults(&[(0.0, 0.0), (0.1, 0.0), (0.3, 0.0), (0.0, 0.3), (0.3, 0.3)]);
-        println!("{}", bench::render("E4 — safety under message loss / duplication", &rows));
+        let rows =
+            bench::experiment_faults(&[(0.0, 0.0), (0.1, 0.0), (0.3, 0.0), (0.0, 0.3), (0.3, 0.3)]);
+        println!(
+            "{}",
+            bench::render("E4 — safety under message loss / duplication", &rows)
+        );
     }
     if wanted(&args, "e5") {
         let rows = bench::experiment_lazy_vs_eager(&[2, 4, 8, 16]);
         println!(
             "{}",
-            bench::render("E5 — lazy vs eager log-keeping on third-party exchanges", &rows)
+            bench::render(
+                "E5 — lazy vs eager log-keeping on third-party exchanges",
+                &rows
+            )
         );
     }
     if wanted(&args, "e6") {
         let rows = bench::experiment_cycles(&[2, 4, 8, 12]);
-        println!("{}", bench::render("E6 — comprehensiveness: inter-site cycles", &rows));
+        println!(
+            "{}",
+            bench::render("E6 — comprehensiveness: inter-site cycles", &rows)
+        );
     }
     if wanted(&args, "e7") {
         let rows = bench::experiment_stalled_site(&[6, 10, 14]);
         println!(
             "{}",
-            bench::render("E7 — consensus bottleneck: one unrelated site stalled", &rows)
+            bench::render(
+                "E7 — consensus bottleneck: one unrelated site stalled",
+                &rows
+            )
         );
     }
     if wanted(&args, "e8") {
@@ -58,5 +71,14 @@ fn main() {
             "{}",
             bench::render("E8 — fixed garbage, growing live population", &rows)
         );
+    }
+    if wanted(&args, "baseline") {
+        let entries = bench::baseline();
+        let json = bench::baseline_json(&entries);
+        let path = "BENCH_baseline.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {} baseline entries to {path}", entries.len()),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
     }
 }

@@ -4,9 +4,6 @@
 //! Each `run_*` function returns printable rows so that the same code backs
 //! the `harness` binary, the Criterion benchmarks and the integration tests.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use ggd_mutator::{workloads, Scenario};
 use ggd_net::FaultPlan;
 use ggd_sim::{
@@ -92,7 +89,10 @@ pub fn experiment_paper_example() -> (RunReport, String) {
     let mut logs = String::new();
     for i in 0..scenario.site_count() {
         let site = SiteId::new(i);
-        logs.push_str(&format!("--- {site}\n{}", cluster.collector(site).engine().log()));
+        logs.push_str(&format!(
+            "--- {site}\n{}",
+            cluster.collector(site).engine().log()
+        ));
     }
     (report, logs)
 }
@@ -154,7 +154,11 @@ pub fn experiment_lazy_vs_eager(spokes: &[u32]) -> Vec<Row> {
         let scenario = workloads::third_party_exchanges(n);
         let report = run_causal(&scenario);
         rows.push(Row::from_report(format!("spokes={n}"), &report));
-        let report = run_with(&scenario, ClusterConfig::default(), RefListingCollector::new);
+        let report = run_with(
+            &scenario,
+            ClusterConfig::default(),
+            RefListingCollector::new,
+        );
         rows.push(Row::from_report(format!("spokes={n}"), &report));
     }
     rows
@@ -173,7 +177,11 @@ pub fn experiment_cycles(sizes: &[u32]) -> Vec<Row> {
             TracingCollector::factory(scenario.site_count()),
         );
         rows.push(Row::from_report(format!("ring={k}"), &report));
-        let report = run_with(&scenario, ClusterConfig::default(), RefListingCollector::new);
+        let report = run_with(
+            &scenario,
+            ClusterConfig::default(),
+            RefListingCollector::new,
+        );
         rows.push(Row::from_report(format!("ring={k}"), &report));
     }
     rows
@@ -222,9 +230,154 @@ pub fn experiment_live_population(live_per_site: &[u32]) -> Vec<Row> {
     rows
 }
 
+/// One entry of the performance baseline (see [`baseline`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Scenario identifier, e.g. `"paper_example"`.
+    pub scenario: String,
+    /// Collector name.
+    pub collector: String,
+    /// Control (collector overhead) messages sent.
+    pub control_msgs: u64,
+    /// Mutator (application) messages sent.
+    pub mutator_msgs: u64,
+    /// Objects reclaimed.
+    pub reclaimed: u64,
+    /// Residual garbage at quiescence.
+    pub residual: u64,
+    /// Safety violations (must be zero).
+    pub violations: u64,
+    /// Detection latency in transport ticks, if GGD triggered.
+    pub detection_latency: Option<u64>,
+}
+
+impl BaselineEntry {
+    fn new(scenario: &str, report: &RunReport) -> BaselineEntry {
+        BaselineEntry {
+            scenario: scenario.to_owned(),
+            collector: report.collector.clone(),
+            control_msgs: report.control_messages(),
+            mutator_msgs: report.mutator_messages(),
+            reclaimed: report.reclaimed,
+            residual: report.residual_garbage,
+            violations: report.safety_violations,
+            detection_latency: report.detection_latency(),
+        }
+    }
+}
+
+/// Runs the canonical scenario set under every applicable collector and
+/// returns per-scenario control-message counts and detection latencies —
+/// the numbers future PRs diff against for perf-trajectory tracking
+/// (`BENCH_baseline.json`).
+pub fn baseline() -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    let mut push = |scenario: &str, report: &RunReport| {
+        entries.push(BaselineEntry::new(scenario, report));
+    };
+
+    let paper = workloads::paper_example();
+    push("paper_example", &run_causal(&paper));
+    push(
+        "paper_example",
+        &run_with(
+            &paper,
+            ClusterConfig::default(),
+            TracingCollector::factory(paper.site_count()),
+        ),
+    );
+    push(
+        "paper_example",
+        &run_with(&paper, ClusterConfig::default(), RefListingCollector::new),
+    );
+
+    let list = workloads::doubly_linked_list(8);
+    push("list_collapse_k8", &run_causal(&list));
+    push(
+        "list_collapse_k8",
+        &run_with(
+            &list,
+            ClusterConfig::default(),
+            TracingCollector::factory(list.site_count()),
+        ),
+    );
+
+    let ring = workloads::ring(8);
+    push("ring_k8", &run_causal(&ring));
+
+    let island = workloads::garbage_island(8, 3, 2);
+    push("garbage_island_8_3_2", &run_causal(&island));
+
+    let spokes = workloads::third_party_exchanges(8);
+    push("third_party_8", &run_causal(&spokes));
+    push(
+        "third_party_8",
+        &run_with(&spokes, ClusterConfig::default(), RefListingCollector::new),
+    );
+
+    entries
+}
+
+/// Renders baseline entries as a JSON document (hand-rolled: the offline
+/// build has no JSON library — see vendor/README.md).
+pub fn baseline_json(entries: &[BaselineEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ggd-bench-baseline/v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let latency = match e.detection_latency {
+            Some(l) => l.to_string(),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"collector\": \"{}\", \"control_msgs\": {}, \
+             \"mutator_msgs\": {}, \"reclaimed\": {}, \"residual\": {}, \"violations\": {}, \
+             \"detection_latency\": {}}}{}\n",
+            e.scenario,
+            e.collector,
+            e.control_msgs,
+            e.mutator_msgs,
+            e.reclaimed,
+            e.residual,
+            e.violations,
+            latency,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_covers_every_scenario_safely() {
+        let entries = baseline();
+        assert!(entries.len() >= 8);
+        for e in &entries {
+            assert_eq!(
+                e.violations, 0,
+                "{}/{} violated safety",
+                e.scenario, e.collector
+            );
+        }
+        let causal_paper = entries
+            .iter()
+            .find(|e| e.scenario == "paper_example" && e.collector == "causal")
+            .expect("causal paper-example entry");
+        assert_eq!(causal_paper.mutator_msgs, 6);
+        assert_eq!(causal_paper.control_msgs, 12);
+        assert_eq!(causal_paper.detection_latency, Some(5));
+    }
+
+    #[test]
+    fn baseline_json_is_well_formed() {
+        let entries = baseline();
+        let json = baseline_json(&entries);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"scenario\"").count(), entries.len());
+        assert!(json.contains("ggd-bench-baseline/v1"));
+    }
 
     #[test]
     fn paper_example_experiment_is_clean() {

@@ -212,7 +212,10 @@ impl CausalEngine {
             .row_mut(VertexId::Object(target))
             .vector
             .merge_entry(holder, Timestamp::created(n));
-        self.inbound_holders.entry(target).or_default().insert(holder);
+        self.inbound_holders
+            .entry(target)
+            .or_default()
+            .insert(holder);
         self.stats.lazy_records += 1;
     }
 
@@ -614,16 +617,25 @@ mod tests {
             .get_mut(&s1)
             .unwrap()
             .on_export(obj_addr, VertexId::SiteRoot(s0));
-        engines.get_mut(&s1).unwrap().apply_snapshot(&heap1.snapshot());
+        engines
+            .get_mut(&s1)
+            .unwrap()
+            .apply_snapshot(&heap1.snapshot());
 
         let root = heap0.alloc_local_root();
         heap0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        engines
+            .get_mut(&s0)
+            .unwrap()
+            .apply_snapshot(&heap0.snapshot());
         run_to_quiescence(&mut engines);
         assert!(engines.get_mut(&s1).unwrap().take_verdicts().is_empty());
 
         heap0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        engines
+            .get_mut(&s0)
+            .unwrap()
+            .apply_snapshot(&heap0.snapshot());
         run_to_quiescence(&mut engines);
         let verdicts = engines.get_mut(&s1).unwrap().take_verdicts();
         assert_eq!(verdicts, vec![obj_addr]);
@@ -655,20 +667,32 @@ mod tests {
 
         let root0 = heap0.alloc_local_root();
         heap0.add_ref(root0, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        engines
+            .get_mut(&s0)
+            .unwrap()
+            .apply_snapshot(&heap0.snapshot());
         let root2 = heap2.alloc_local_root();
         heap2.add_ref(root2, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s2).unwrap().apply_snapshot(&heap2.snapshot());
+        engines
+            .get_mut(&s2)
+            .unwrap()
+            .apply_snapshot(&heap2.snapshot());
         run_to_quiescence(&mut engines);
 
         heap0.remove_ref(root0, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s0).unwrap().apply_snapshot(&heap0.snapshot());
+        engines
+            .get_mut(&s0)
+            .unwrap()
+            .apply_snapshot(&heap0.snapshot());
         run_to_quiescence(&mut engines);
         assert!(engines.get_mut(&s1).unwrap().take_verdicts().is_empty());
 
         // Dropping the second root finally makes it garbage.
         heap2.remove_ref(root2, ObjRef::Remote(obj_addr)).unwrap();
-        engines.get_mut(&s2).unwrap().apply_snapshot(&heap2.snapshot());
+        engines
+            .get_mut(&s2)
+            .unwrap()
+            .apply_snapshot(&heap2.snapshot());
         run_to_quiescence(&mut engines);
         assert_eq!(
             engines.get_mut(&s1).unwrap().take_verdicts(),

@@ -70,9 +70,6 @@
 //! assert_eq!(verdicts, vec![obj_addr]);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod engine;
 mod log;
 mod message;

@@ -367,7 +367,9 @@ mod tests {
     fn display_and_size() {
         let mut log = DkLog::new();
         assert!(log.is_empty());
-        log.row_mut(v(1, 1)).vector.set(v(1, 1), Timestamp::created(1));
+        log.row_mut(v(1, 1))
+            .vector
+            .set(v(1, 1), Timestamp::created(1));
         assert_eq!(log.len(), 1);
         assert!(!log.is_empty());
         assert!(log.to_string().contains("DK[s1/o1]"));

@@ -37,9 +37,6 @@
 //! assert_eq!(outcome.freed.len(), 0); // everything is reachable
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod collect;
 mod object;
 mod site_heap;

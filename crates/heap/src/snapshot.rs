@@ -197,9 +197,7 @@ mod tests {
             snap.edges_of(VertexId::SiteRoot(SiteId::new(0))),
             BTreeSet::from([remote_a])
         );
-        assert!(snap
-            .edges_of(VertexId::SiteRoot(SiteId::new(9)))
-            .is_empty());
+        assert!(snap.edges_of(VertexId::SiteRoot(SiteId::new(9))).is_empty());
     }
 
     #[test]
@@ -268,7 +266,8 @@ mod tests {
     fn display_lists_edges() {
         let mut h = SiteHeap::new(SiteId::new(0));
         let root = h.alloc_local_root();
-        h.add_ref(root, ObjRef::Remote(GlobalAddr::new(1, 1))).unwrap();
+        h.add_ref(root, ObjRef::Remote(GlobalAddr::new(1, 1)))
+            .unwrap();
         let text = h.snapshot().to_string();
         assert!(text.contains("root(s0) -> s1/o1"));
     }

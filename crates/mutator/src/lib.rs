@@ -22,9 +22,6 @@
 //! assert_eq!(scenario.site_count(), 4);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod workloads;
 
 use serde::{Deserialize, Serialize};
@@ -196,7 +193,12 @@ impl Scenario {
     }
 
     /// Convenience: send a reference from `from_site` to `recipient`.
-    pub fn send_ref(&mut self, from_site: SiteId, recipient: ObjName, target: ObjName) -> &mut Self {
+    pub fn send_ref(
+        &mut self,
+        from_site: SiteId,
+        recipient: ObjName,
+        target: ObjName,
+    ) -> &mut Self {
         self.op(MutatorOp::SendRef {
             from_site,
             recipient,

@@ -298,8 +298,7 @@ pub fn random_churn(sites: u32, operations: u32, seed: u64) -> Scenario {
                     .map(|&(n, _)| n)
                     .filter(|n| !roots.contains(n))
                     .collect();
-                if let (Some(&name), true) = (candidates.choose(&mut rng), !candidates.is_empty())
-                {
+                if let (Some(&name), true) = (candidates.choose(&mut rng), !candidates.is_empty()) {
                     let site = objects
                         .iter()
                         .find(|(n, _)| *n == name)

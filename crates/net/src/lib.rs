@@ -6,13 +6,18 @@
 //! along the edges of the global root graph. This crate provides the network
 //! those messages travel on:
 //!
+//! * [`Transport`] — the trait every network implements: accept a send,
+//!   hand over the next delivery, report in-flight count, clock and metrics.
+//!   The `ggd-sim` cluster is generic over it, so the same runtime drives
+//!   every transport below.
 //! * [`SimNetwork`] — a seeded, deterministic discrete-event network with
 //!   configurable latency, message loss, duplication, reordering, partitions
 //!   and stalled sites. Experiments E3–E8 run on it so that message
 //!   complexity can be counted exactly and fault scenarios are reproducible.
 //! * [`ThreadedTransport`] — a crossbeam-channel transport for running the
-//!   same site logic on real OS threads (used by the `lossy_network` example
-//!   and the threaded integration tests).
+//!   same site logic on real OS threads. [`ThreadedNetwork`] adapts it to
+//!   the [`Transport`] trait by giving each site a relay thread (used by the
+//!   `lossy_network` example and the threaded integration tests).
 //! * [`NetMetrics`] — per-class and per-label counters (messages and bytes)
 //!   from which every experiment table derives its "messages" columns.
 //!
@@ -41,17 +46,19 @@
 //! assert_eq!(net.metrics().delivered_total(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod fault;
 mod message;
 mod metrics;
 mod sim;
 mod threaded;
+mod transport;
 
 pub use fault::{FaultPlan, LinkFault};
 pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
 pub use metrics::{MetricKey, NetMetrics};
 pub use sim::{SimNetwork, SimNetworkConfig};
-pub use threaded::{ThreadedEndpoint, ThreadedTransport};
+pub use threaded::{
+    SendError, ThreadedEndpoint, ThreadedNetwork, ThreadedReceiver, ThreadedSender,
+    ThreadedTransport,
+};
+pub use transport::Transport;

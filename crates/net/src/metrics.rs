@@ -99,7 +99,10 @@ impl NetMetrics {
 
     /// Total messages delivered (duplicates included).
     pub fn delivered_total(&self) -> u64 {
-        self.buckets.values().map(|b| b.delivered + b.duplicated).sum()
+        self.buckets
+            .values()
+            .map(|b| b.delivered + b.duplicated)
+            .sum()
     }
 
     /// Total messages dropped by fault injection.

@@ -192,7 +192,16 @@ impl<P: Payload> SimNetwork<P> {
         };
 
         let first_delay = self.delay(from, to);
-        self.enqueue(id, from, to, false, class, label, payload.clone(), first_delay);
+        self.enqueue(
+            id,
+            from,
+            to,
+            false,
+            class,
+            label,
+            payload.clone(),
+            first_delay,
+        );
         if duplicated {
             let second_delay = self.delay(from, to);
             self.enqueue(id, from, to, true, class, label, payload, second_delay);

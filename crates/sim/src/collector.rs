@@ -263,11 +263,17 @@ impl Collector for TracingCollector {
         "tracing"
     }
 
-    fn on_export(&mut self, _exported: GlobalAddr, _recipient: GlobalAddr) {}
+    fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr) {
+        self.engine.on_export(exported, recipient);
+    }
 
-    fn on_third_party_send(&mut self, _target: GlobalAddr, _recipient: GlobalAddr) {}
+    fn on_third_party_send(&mut self, target: GlobalAddr, recipient: GlobalAddr) {
+        self.engine.on_third_party_send(target, recipient);
+    }
 
-    fn on_receive_ref(&mut self, _recipient: GlobalAddr, _target: GlobalAddr) {}
+    fn on_receive_ref(&mut self, recipient: GlobalAddr, target: GlobalAddr) {
+        self.engine.on_receive_ref(recipient, target);
+    }
 
     fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
         self.engine.apply_snapshot(snapshot);

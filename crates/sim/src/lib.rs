@@ -3,11 +3,16 @@
 //! runner used by the benchmark harness.
 //!
 //! The simulator replays a [`ggd_mutator::Scenario`] against a cluster of
-//! sites. Each site owns a [`ggd_heap::SiteHeap`] and a garbage-detection
-//! engine implementing the [`Collector`] trait; reference-carrying mutator
-//! messages and GGD control messages share one [`ggd_net::SimNetwork`], so
-//! the per-class message counts reported by every experiment come straight
-//! from the network metrics.
+//! sites. Each site is a [`SiteRuntime`] owning a [`ggd_heap::SiteHeap`] and
+//! a garbage-detection engine implementing the [`Collector`] trait;
+//! reference-carrying mutator messages and GGD control messages share one
+//! [`ggd_net::Transport`], so the per-class message counts reported by every
+//! experiment come straight from the network metrics. [`Cluster`] is generic
+//! over the transport: experiments run it on the deterministic
+//! [`ggd_net::SimNetwork`] (the default type parameter), while the threaded
+//! constructors ([`Cluster::threaded`], [`Cluster::threaded_from_scenario`])
+//! run the identical drive loop over [`ggd_net::ThreadedNetwork`] on real OS
+//! threads.
 //!
 //! # Example
 //!
@@ -23,15 +28,16 @@
 //! assert_eq!(report.residual_garbage, 0, "objects 2,3,4 must be reclaimed");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cluster;
 mod collector;
 mod oracle;
 mod report;
+mod runtime;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use collector::{CausalCollector, Collector, RefListingCollector, SimPayload, TracingCollector};
+pub use collector::{
+    CausalCollector, Collector, RefListingCollector, SimPayload, TracingCollector,
+};
 pub use oracle::Oracle;
 pub use report::RunReport;
+pub use runtime::{SiteRuntime, SiteTick};

@@ -17,8 +17,11 @@ use ggd_types::{GlobalAddr, SiteId};
 pub struct Oracle;
 
 impl Oracle {
-    /// Computes the set of globally reachable objects.
-    pub fn reachable(heaps: &BTreeMap<SiteId, SiteHeap>) -> BTreeSet<GlobalAddr> {
+    /// Computes the set of globally reachable objects. `heaps` is any
+    /// iterator over the cluster's site heaps (their hosting sites are read
+    /// off the heaps themselves).
+    pub fn reachable<'a>(heaps: impl IntoIterator<Item = &'a SiteHeap>) -> BTreeSet<GlobalAddr> {
+        let heaps: BTreeMap<SiteId, &SiteHeap> = heaps.into_iter().map(|h| (h.site(), h)).collect();
         let mut reachable = BTreeSet::new();
         let mut stack: Vec<GlobalAddr> = Vec::new();
         for heap in heaps.values() {
@@ -46,10 +49,11 @@ impl Oracle {
     }
 
     /// Computes the set of objects that exist but are globally unreachable.
-    pub fn garbage(heaps: &BTreeMap<SiteId, SiteHeap>) -> BTreeSet<GlobalAddr> {
-        let live = Self::reachable(heaps);
+    pub fn garbage<'a>(heaps: impl IntoIterator<Item = &'a SiteHeap>) -> BTreeSet<GlobalAddr> {
+        let heaps: Vec<&SiteHeap> = heaps.into_iter().collect();
+        let live = Self::reachable(heaps.iter().copied());
         heaps
-            .values()
+            .iter()
             .flat_map(|heap| heap.iter().map(|o| heap.addr_of(o.id())))
             .filter(|addr| !live.contains(addr))
             .collect()
@@ -63,28 +67,25 @@ mod tests {
 
     #[test]
     fn oracle_follows_remote_references() {
-        let mut heaps = BTreeMap::new();
         let mut h0 = SiteHeap::new(SiteId::new(0));
         let mut h1 = SiteHeap::new(SiteId::new(1));
         let root = h0.alloc_local_root();
         let remote = h1.alloc();
         let orphan = h1.alloc();
-        h0.add_ref(root, ObjRef::Remote(h1.addr_of(remote))).unwrap();
+        h0.add_ref(root, ObjRef::Remote(h1.addr_of(remote)))
+            .unwrap();
         let remote_addr = h1.addr_of(remote);
         let orphan_addr = h1.addr_of(orphan);
-        heaps.insert(SiteId::new(0), h0);
-        heaps.insert(SiteId::new(1), h1);
 
-        let live = Oracle::reachable(&heaps);
+        let live = Oracle::reachable([&h0, &h1]);
         assert!(live.contains(&remote_addr));
         assert!(!live.contains(&orphan_addr));
-        let garbage = Oracle::garbage(&heaps);
+        let garbage = Oracle::garbage([&h0, &h1]);
         assert_eq!(garbage, BTreeSet::from([orphan_addr]));
     }
 
     #[test]
     fn oracle_handles_cross_site_cycles() {
-        let mut heaps = BTreeMap::new();
         let mut h0 = SiteHeap::new(SiteId::new(0));
         let mut h1 = SiteHeap::new(SiteId::new(1));
         let a = h0.alloc();
@@ -93,10 +94,11 @@ mod tests {
         h1.add_ref(b, ObjRef::Remote(h0.addr_of(a))).unwrap();
         let a_addr = h0.addr_of(a);
         let b_addr = h1.addr_of(b);
-        heaps.insert(SiteId::new(0), h0);
-        heaps.insert(SiteId::new(1), h1);
 
-        assert!(Oracle::reachable(&heaps).is_empty());
-        assert_eq!(Oracle::garbage(&heaps), BTreeSet::from([a_addr, b_addr]));
+        assert!(Oracle::reachable([&h0, &h1]).is_empty());
+        assert_eq!(
+            Oracle::garbage([&h0, &h1]),
+            BTreeSet::from([a_addr, b_addr])
+        );
     }
 }

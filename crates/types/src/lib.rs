@@ -34,9 +34,6 @@
 //! assert!(!later.causally_precedes(&earlier));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod ids;
 mod timestamp;
 mod vector;

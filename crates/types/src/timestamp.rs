@@ -136,7 +136,9 @@ impl Timestamp {
     ///
     /// Panics when `index` is zero; use [`Timestamp::Never`] for "no event".
     pub fn destroyed(index: u64) -> Self {
-        Timestamp::Destroyed(EventIndex::new(index).expect("destruction timestamp must be positive"))
+        Timestamp::Destroyed(
+            EventIndex::new(index).expect("destruction timestamp must be positive"),
+        )
     }
 
     /// The paper's predicate `A(x)`: true when the entry denotes the absence
@@ -278,8 +280,14 @@ mod tests {
 
     #[test]
     fn into_destroyed_preserves_index() {
-        assert_eq!(Timestamp::created(9).into_destroyed(), Timestamp::destroyed(9));
-        assert_eq!(Timestamp::destroyed(9).into_destroyed(), Timestamp::destroyed(9));
+        assert_eq!(
+            Timestamp::created(9).into_destroyed(),
+            Timestamp::destroyed(9)
+        );
+        assert_eq!(
+            Timestamp::destroyed(9).into_destroyed(),
+            Timestamp::destroyed(9)
+        );
         assert_eq!(Timestamp::Never.into_destroyed(), Timestamp::Never);
     }
 

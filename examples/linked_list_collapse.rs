@@ -11,7 +11,10 @@ use ggd::prelude::*;
 
 fn main() {
     println!("== collapsing a doubly-linked list of k elements (one per site) ==");
-    println!("{:>4} {:>10} {:>12} {:>12} {:>10}", "k", "collector", "ctrl msgs", "reclaimed", "residual");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12} {:>10}",
+        "k", "collector", "ctrl msgs", "reclaimed", "residual"
+    );
     for k in [2u32, 4, 8, 16, 24] {
         let scenario = workloads::doubly_linked_list(k);
 

@@ -7,14 +7,17 @@
 //! sub-crates so that applications can depend on a single crate:
 //!
 //! * [`types`] — identifiers, timestamps and dependency vectors;
-//! * [`net`] — the deterministic simulated network and threaded transport;
+//! * [`net`] — the [`Transport`](net::Transport) abstraction with its two
+//!   implementations: the deterministic simulated network and the threaded
+//!   (real OS threads) network;
 //! * [`heap`] — per-site heaps, local mark-sweep GC and reachability
 //!   snapshots;
 //! * [`mutator`] — mutator operations and workload generators;
 //! * [`causal`] — the paper's causal GGD engine (lazy log-keeping +
 //!   vector-time reconstruction);
 //! * [`baselines`] — reference-listing and graph-tracing baselines;
-//! * [`sim`] — the whole-system simulator, oracle and experiment reports.
+//! * [`sim`] — the transport-generic cluster, per-site runtimes, oracle and
+//!   experiment reports.
 //!
 //! # Quickstart
 //!
@@ -32,9 +35,6 @@
 //! assert_eq!(report.residual_garbage, 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use ggd_baselines as baselines;
 pub use ggd_causal as causal;
 pub use ggd_heap as heap;
@@ -48,10 +48,12 @@ pub mod prelude {
     pub use ggd_causal::{CausalEngine, CausalMessage};
     pub use ggd_heap::{ObjRef, SiteHeap};
     pub use ggd_mutator::{workloads, MutatorOp, ObjName, Scenario, Step};
-    pub use ggd_net::{FaultPlan, NetMetrics, SimNetwork, SimNetworkConfig};
+    pub use ggd_net::{
+        FaultPlan, NetMetrics, SimNetwork, SimNetworkConfig, ThreadedNetwork, Transport,
+    };
     pub use ggd_sim::{
-        CausalCollector, Cluster, ClusterConfig, Collector, Oracle, RefListingCollector,
-        RunReport, TracingCollector,
+        CausalCollector, Cluster, ClusterConfig, Collector, Oracle, RefListingCollector, RunReport,
+        SiteRuntime, TracingCollector,
     };
     pub use ggd_types::{
         DependencyVector, EventIndex, GlobalAddr, ObjectId, SiteId, Timestamp, VertexId,

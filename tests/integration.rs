@@ -21,7 +21,7 @@ fn paper_example_matches_figure_8_outcome() {
 
 #[test]
 fn every_workload_is_safe_and_comprehensive_under_the_causal_collector() {
-    let scenarios = vec![
+    let scenarios = [
         workloads::paper_example(),
         workloads::doubly_linked_list(5),
         workloads::ring(4),
@@ -69,8 +69,7 @@ fn tracing_blocks_on_a_stalled_site_while_causal_does_not() {
         faults: FaultPlan::new().with_stalled_site(stalled),
         ..ClusterConfig::default()
     };
-    let mut cluster =
-        Cluster::from_scenario(&scenario, config, TracingCollector::factory(6));
+    let mut cluster = Cluster::from_scenario(&scenario, config, TracingCollector::factory(6));
     let report = cluster.run(&scenario);
     assert!(
         report.residual_garbage > 0,

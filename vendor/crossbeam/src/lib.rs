@@ -1,0 +1,38 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel` is provided, backed by `std::sync::mpsc`. The
+//! subset used by this workspace — `unbounded()`, cloneable `Sender`s, a
+//! single-consumer `Receiver` with `recv`/`recv_timeout`/`try_recv`, and the
+//! `RecvTimeoutError` variants — maps one-to-one onto the std primitives.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer channels (std-backed stand-in for `crossbeam-channel`).
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(5u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Strategies for collections.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s whose length is drawn from `len` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_case;
+
+    #[test]
+    fn length_stays_in_range() {
+        let strat = vec(0u32..5, 2..6);
+        let mut rng = rng_for_case(1);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

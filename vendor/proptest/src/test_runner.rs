@@ -1,0 +1,51 @@
+//! Test-runner configuration and per-case RNG derivation.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = ChaCha8Rng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is run for.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; this stand-in trades a little
+        // coverage for keeping `cargo test` fast in CI.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG used for case number `case`.
+pub fn rng_for_case(case: u32) -> TestRng {
+    ChaCha8Rng::seed_from_u64(0x5eed_0000_0000_0000 ^ u64::from(case))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn per_case_rngs_differ() {
+        assert_ne!(rng_for_case(0).next_u64(), rng_for_case(1).next_u64());
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}

@@ -1,0 +1,48 @@
+//! Sequence-related sampling helpers (`SliceRandom`).
+
+use crate::RngCore;
+
+/// Random selection from slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let v: Vec<u32> = vec![];
+        assert_eq!(v.choose(&mut Fixed(3)), None);
+    }
+
+    #[test]
+    fn choose_picks_indexed_element() {
+        let v = [10, 20, 30];
+        assert_eq!(v.choose(&mut Fixed(4)), Some(&20)); // 4 % 3 == 1
+    }
+}

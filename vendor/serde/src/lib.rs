@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros so that workspace code annotated with
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` attributes)
+//! compiles without the real serde. No serialization is performed.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

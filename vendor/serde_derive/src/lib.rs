@@ -1,0 +1,199 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derive macros here parse only as much of the item as is needed to
+//! emit an empty trait impl — name, generic parameters and the `#[serde]`
+//! helper attributes — so annotated types compile against the marker traits
+//! of the vendored `serde` crate. No (de)serialization code is generated.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = render_params(&item.params, None);
+    let ty_generics = render_args(&item.params);
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = render_params(&item.params, Some("'de"));
+    let ty_generics = render_args(&item.params);
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Deserialize<'de> for {}{ty_generics} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// One generic parameter of the deriving item.
+struct Param {
+    /// Parameter with its bounds, defaults stripped (e.g. `P: Clone`).
+    declaration: String,
+    /// Bare name usable in type-argument position (e.g. `P` or `'a`).
+    name: String,
+    /// Lifetimes must precede type/const parameters in the impl generics.
+    is_lifetime: bool,
+}
+
+struct Item {
+    name: String,
+    params: Vec<Param>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            other => panic!("unsupported token in derive input: {other}"),
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    // Collect the generic parameter tokens between the outer `<` and `>`.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut current: Vec<TokenTree> = Vec::new();
+            let mut groups: Vec<Vec<TokenTree>> = Vec::new();
+            while depth > 0 {
+                let tok = tokens
+                    .get(i)
+                    .unwrap_or_else(|| panic!("unbalanced generics on {name}"))
+                    .clone();
+                i += 1;
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            groups.push(std::mem::take(&mut current));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                current.push(tok);
+            }
+            if !current.is_empty() {
+                groups.push(current);
+            }
+            params = groups.iter().map(|g| parse_param(g)).collect();
+        }
+    }
+
+    Item { name, params }
+}
+
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    let is_lifetime = matches!(&tokens[0], TokenTree::Punct(p) if p.as_char() == '\'');
+    let name = if is_lifetime {
+        format!("'{}", tokens[1])
+    } else if matches!(&tokens[0], TokenTree::Ident(id) if id.to_string() == "const") {
+        tokens[1].to_string()
+    } else {
+        tokens[0].to_string()
+    };
+    // Strip a default (`= ...`) but keep bounds (`: ...`); `=` cannot occur
+    // inside bounds at this nesting level except as part of a default.
+    let mut declaration_tokens: &[TokenTree] = tokens;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            if p.as_char() == '=' && p.spacing() == Spacing::Alone {
+                declaration_tokens = &tokens[..idx];
+                break;
+            }
+        }
+    }
+    Param {
+        declaration: render_tokens(declaration_tokens),
+        name,
+        is_lifetime,
+    }
+}
+
+/// Joins tokens with spaces, except after `Joint` punctuation so that
+/// multi-character tokens (`'a`, `::`) survive re-parsing.
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut glue = false;
+    for tok in tokens {
+        if !out.is_empty() && !glue {
+            out.push(' ');
+        }
+        out.push_str(&tok.to_string());
+        glue = matches!(tok, TokenTree::Punct(p) if p.spacing() == Spacing::Joint);
+    }
+    out
+}
+
+/// `<'extra, 'a, T: Bound, ...>` — the impl's parameter list.
+fn render_params(params: &[Param], extra_lifetime: Option<&str>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        parts.push(lt.to_string());
+    }
+    for p in params.iter().filter(|p| p.is_lifetime) {
+        parts.push(p.declaration.clone());
+    }
+    for p in params.iter().filter(|p| !p.is_lifetime) {
+        parts.push(p.declaration.clone());
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+/// `<'a, T, ...>` — the type's argument list.
+fn render_args(params: &[Param]) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+    format!("<{}>", names.join(", "))
+}
