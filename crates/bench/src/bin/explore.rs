@@ -1,0 +1,103 @@
+//! The differential scenario explorer (see `ggd-explore`).
+//!
+//! ```sh
+//! cargo run --release -p ggd-bench --bin explore -- --corpus 200 --seed 7
+//! cargo run --release -p ggd-bench --bin explore -- --corpus 20 --self-test
+//! ```
+//!
+//! Exit code 0 when the corpus ran clean (violating triples: 0, and —
+//! under `--strict` — no divergences either); 1 otherwise, with every
+//! failing triple shrunk and printed as a paste-ready test snippet. In
+//! `--self-test` mode the expectation flips: the deliberately sabotaged
+//! causal collector *must* be caught, so a clean corpus exits 1.
+
+use ggd_explore::{explore, ExplorerConfig, RunMode};
+
+fn parse_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_u64(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Parses a corpus size: out-of-range or zero values are rejected (falling
+/// back to the default) rather than silently truncated — a truncated-to-0
+/// corpus would make the CI oracle "pass" having verified nothing.
+fn parse_corpus(args: &[String], name: &str) -> Option<u32> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&corpus| corpus > 0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_test = parse_flag(&args, "--self-test");
+    let config = ExplorerConfig {
+        corpus: parse_corpus(&args, "--corpus").unwrap_or(200),
+        seed: parse_u64(&args, "--seed").unwrap_or(7),
+        strict: parse_flag(&args, "--strict"),
+        mode: if self_test {
+            RunMode::SabotagedCausal { arm_after: 3 }
+        } else {
+            RunMode::Standard
+        },
+        ..ExplorerConfig::default()
+    };
+
+    println!(
+        "## ggd-explore — differential corpus (corpus={}, seed={}{}{})",
+        config.corpus,
+        config.seed,
+        if config.strict { ", strict" } else { "" },
+        if self_test { ", SELF-TEST" } else { "" },
+    );
+    let exploration = explore(&config);
+    println!("{}", exploration.stats);
+
+    for failure in &exploration.failures {
+        println!(
+            "\n### triple #{} failed ({}), shrunk to {} ops over {} sites on plan `{}`:",
+            failure.index,
+            failure.kind,
+            failure.shrunk.op_count(),
+            failure.shrunk.scenario.site_count(),
+            failure.shrunk.fault.name,
+        );
+        for f in &failure.failures {
+            println!("  - {f:?}");
+        }
+        println!("\n{}", failure.reproducer);
+    }
+
+    if self_test {
+        // The sabotaged collector must be detected and shrink to a tiny
+        // reproducer, proving the oracle and the shrinker actually work.
+        let caught = exploration.stats.violating_triples > 0;
+        let tiny = exploration
+            .failures
+            .iter()
+            .any(|f| f.kind == "safety" && f.shrunk.op_count() <= 10);
+        if caught && tiny {
+            println!("\nself-test OK: unsafe sweep caught and shrunk to ≤ 10 ops");
+        } else {
+            println!(
+                "\nself-test FAILED: caught={caught} tiny={tiny} — the differential oracle \
+                 or the shrinker is broken"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if exploration.stats.violating_triples > 0
+        || (config.strict && !exploration.failures.is_empty())
+    {
+        std::process::exit(1);
+    }
+}

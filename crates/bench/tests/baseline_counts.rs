@@ -1,0 +1,110 @@
+//! Regression pins for the E3–E8 control/mutator message counts, sourced
+//! from `BENCH_baseline.json` (schema `ggd-bench-baseline/v1`). The paper's
+//! performance story is told in message counts, so a drifting count *is* a
+//! perf regression (or, rarely, a justified semantic change — in which case
+//! regenerate the baseline with
+//! `cargo run --release -p ggd-bench --bin harness -- baseline` and call the
+//! change out in review).
+
+use ggd_bench::{baseline, baseline_json, BaselineEntry};
+
+fn entry<'a>(entries: &'a [BaselineEntry], scenario: &str, collector: &str) -> &'a BaselineEntry {
+    entries
+        .iter()
+        .find(|e| e.scenario == scenario && e.collector == collector)
+        .unwrap_or_else(|| panic!("baseline misses {scenario}/{collector}"))
+}
+
+#[track_caller]
+fn assert_counts(
+    entries: &[BaselineEntry],
+    scenario: &str,
+    collector: &str,
+    control: u64,
+    mutator: u64,
+    reclaimed: u64,
+    latency: Option<u64>,
+) {
+    let e = entry(entries, scenario, collector);
+    assert_eq!(
+        e.control_msgs, control,
+        "{scenario}/{collector}: control msgs"
+    );
+    assert_eq!(
+        e.mutator_msgs, mutator,
+        "{scenario}/{collector}: mutator msgs"
+    );
+    assert_eq!(e.reclaimed, reclaimed, "{scenario}/{collector}: reclaimed");
+    assert_eq!(e.violations, 0, "{scenario}/{collector}: must stay safe");
+    assert_eq!(
+        e.detection_latency, latency,
+        "{scenario}/{collector}: detection latency"
+    );
+}
+
+/// E1/E2 — the paper example, all three collectors (the causal row is also
+/// pinned by `paper_example_message_counts_are_stable` in `ggd-sim`).
+#[test]
+fn e1_paper_example_counts_are_pinned() {
+    let entries = baseline();
+    assert_counts(&entries, "paper_example", "causal", 12, 6, 3, Some(5));
+    assert_counts(&entries, "paper_example", "tracing", 71, 6, 3, Some(18));
+    assert_counts(&entries, "paper_example", "reflisting", 3, 6, 0, None);
+}
+
+/// E3 — list collapse at k=8: the causal collector beats tracing on control
+/// traffic and both reclaim the full list.
+#[test]
+fn e3_list_collapse_counts_are_pinned() {
+    let entries = baseline();
+    assert_counts(&entries, "list_collapse_k8", "causal", 93, 15, 8, Some(24));
+    assert_counts(&entries, "list_collapse_k8", "tracing", 125, 15, 8, Some(8));
+}
+
+/// E6 — the 8-ring: distributed-cycle comprehensiveness at O(k) messages.
+#[test]
+fn e6_ring_counts_are_pinned() {
+    let entries = baseline();
+    assert_counts(&entries, "ring_k8", "causal", 33, 9, 8, Some(24));
+}
+
+/// E7/E8 — the garbage island: message complexity tracks the garbage, not
+/// the live population.
+#[test]
+fn e7_e8_garbage_island_counts_are_pinned() {
+    let entries = baseline();
+    assert_counts(
+        &entries,
+        "garbage_island_8_3_2",
+        "causal",
+        24,
+        11,
+        3,
+        Some(10),
+    );
+}
+
+/// E5 — third-party exchanges: the lazy mechanism needs no eager add
+/// messages per exchange; reference listing pays one per forward.
+#[test]
+fn e5_third_party_counts_are_pinned() {
+    let entries = baseline();
+    assert_counts(&entries, "third_party_8", "causal", 25, 17, 0, None);
+    assert_counts(&entries, "third_party_8", "reflisting", 8, 17, 0, None);
+}
+
+/// The checked-in `BENCH_baseline.json` must match what the harness would
+/// regenerate — byte for byte. If this fails, either a collector's message
+/// behaviour drifted (investigate!) or a justified change landed without
+/// regenerating the baseline.
+#[test]
+fn checked_in_baseline_matches_regenerated_counts() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let on_disk = std::fs::read_to_string(path).expect("BENCH_baseline.json exists");
+    let regenerated = baseline_json(&baseline());
+    assert_eq!(
+        on_disk, regenerated,
+        "BENCH_baseline.json is stale; regenerate with \
+         `cargo run --release -p ggd-bench --bin harness -- baseline`"
+    );
+}

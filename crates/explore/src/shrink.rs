@@ -1,0 +1,229 @@
+//! Greedy minimization of a failing triple.
+//!
+//! The shrinker repeatedly proposes a simpler triple — fewer faults, fewer
+//! ops (delta-debugging style chunk removal), fewer sites — and keeps every
+//! proposal under which a failure of the *same kind* still reproduces.
+//! Because every run is deterministic, "still fails" is a pure predicate
+//! and the loop terminates at a local minimum.
+
+use std::collections::BTreeSet;
+
+use ggd_mutator::{ObjName, Scenario, Step};
+use ggd_net::NamedFaultPlan;
+
+use crate::runner::{run_triple, RunMode, Triple};
+
+/// Removes steps that can no longer replay or that no legal mutator could
+/// perform after the removals so far:
+///
+/// * ops referencing a name whose `Alloc` is not among the kept steps;
+/// * `SendRef`s whose sender site does not hold the target's reference
+///   (it is neither the target's host nor a site a kept send delivered the
+///   reference to);
+/// * `SendRef`s whose recipient is not *anchored* — neither a local root
+///   nor an object a kept send previously exported. A real mutator cannot
+///   address a message to such an object, and the causal engine's
+///   comprehensiveness claim only covers legal computations.
+///
+/// One forward pass suffices: every tracked set only grows.
+pub fn sanitize(steps: &[Step]) -> Vec<Step> {
+    use ggd_mutator::MutatorOp;
+    use std::collections::BTreeMap;
+
+    let mut defined: BTreeSet<ObjName> = BTreeSet::new();
+    let mut host: BTreeMap<ObjName, ggd_types::SiteId> = BTreeMap::new();
+    let mut anchored: BTreeSet<ObjName> = BTreeSet::new();
+    let mut holders: BTreeMap<ObjName, BTreeSet<ggd_types::SiteId>> = BTreeMap::new();
+    let mut kept = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            Step::Op(op) => {
+                if let Some(name) = op.defined_name() {
+                    if let MutatorOp::Alloc {
+                        site, local_root, ..
+                    } = op
+                    {
+                        defined.insert(name);
+                        host.insert(name, *site);
+                        holders.entry(name).or_default().insert(*site);
+                        if *local_root {
+                            anchored.insert(name);
+                        }
+                    }
+                    kept.push(*step);
+                    continue;
+                }
+                if !op.used_names().iter().all(|n| defined.contains(n)) {
+                    continue;
+                }
+                if let MutatorOp::SendRef {
+                    from_site,
+                    recipient,
+                    target,
+                } = op
+                {
+                    let sender_holds = holders
+                        .get(target)
+                        .is_some_and(|sites| sites.contains(from_site));
+                    if !sender_holds || !anchored.contains(recipient) {
+                        continue;
+                    }
+                    anchored.insert(*target);
+                    let recipient_site = host[recipient];
+                    holders.entry(*target).or_default().insert(recipient_site);
+                }
+                kept.push(*step);
+            }
+            Step::Settle => kept.push(*step),
+        }
+    }
+    kept
+}
+
+/// The smallest site count that can host the steps (every referenced site
+/// index must stay in range). At least 2 — a cluster needs a peer.
+fn min_site_count(steps: &[Step]) -> u32 {
+    steps
+        .iter()
+        .filter_map(|step| match step {
+            Step::Op(op) => op.sites().iter().map(|s| s.index() + 1).max(),
+            Step::Settle => None,
+        })
+        .max()
+        .unwrap_or(0)
+        .max(2)
+}
+
+fn rebuild(triple: &Triple, steps: Vec<Step>) -> Triple {
+    let steps = sanitize(&steps);
+    let site_count = min_site_count(&steps);
+    Triple {
+        scenario: Scenario::from_steps(site_count, steps),
+        ..triple.clone()
+    }
+}
+
+fn still_fails(triple: &Triple, mode: RunMode, kind: &str) -> bool {
+    run_triple(triple, mode).has_kind(kind)
+}
+
+/// Greedily minimizes `triple` while a failure of kind `kind` (as returned
+/// by [`CheckFailure::kind`](crate::CheckFailure::kind)) keeps reproducing
+/// under `mode`. Returns the smallest triple found.
+///
+/// The `reflisting-cycle-reclaim` kind only simplifies the faults and the
+/// jitter: its check consults the triple's generation-time `cyclic`
+/// metadata, and removing ops could turn a listed member into ordinary
+/// acyclic garbage — a *correct* reference-listing collector would then
+/// reclaim it and the "failure" would keep reproducing for the wrong
+/// reason, steering the shrinker toward a non-reproducer.
+pub fn shrink(triple: &Triple, mode: RunMode, kind: &str) -> Triple {
+    let mut best = triple.clone();
+    debug_assert!(
+        still_fails(&best, mode, kind),
+        "shrink needs a failing seed"
+    );
+    let ops_shrinkable = kind != "reflisting-cycle-reclaim";
+
+    // Phase 1: drop the faults — a reproducer on the reliable plan is
+    // strictly more convincing.
+    if best.fault.plan != ggd_net::FaultPlan::new() {
+        let candidate = Triple {
+            fault: NamedFaultPlan::new("reliable", "FaultPlan::new()", ggd_net::FaultPlan::new()),
+            ..best.clone()
+        };
+        if still_fails(&candidate, mode, kind) {
+            best = candidate;
+        }
+    }
+    // …and the jitter.
+    if best.jitter != 0 {
+        let candidate = Triple {
+            jitter: 0,
+            ..best.clone()
+        };
+        if still_fails(&candidate, mode, kind) {
+            best = candidate;
+        }
+    }
+
+    if !ops_shrinkable {
+        return best;
+    }
+
+    // Phase 2: chunked step removal (ddmin-lite), halving the chunk size
+    // down to single steps.
+    let mut chunk = (best.scenario.steps().len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.scenario.steps().len() {
+            let steps: Vec<Step> = best
+                .scenario
+                .steps()
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| *idx < i || *idx >= i + chunk)
+                .map(|(_, s)| *s)
+                .collect();
+            let candidate = rebuild(&best, steps);
+            if candidate.scenario.len() < best.scenario.len() && still_fails(&candidate, mode, kind)
+            {
+                best = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Phase 3: drop whole sites (every op naming the site; ops that used
+    // its objects fall to sanitize).
+    let sites: Vec<u32> = (0..best.scenario.site_count()).rev().collect();
+    for site in sites {
+        let touches: bool = best.scenario.steps().iter().any(|step| match step {
+            Step::Op(op) => op.sites().iter().any(|s| s.index() == site),
+            Step::Settle => false,
+        });
+        if !touches {
+            continue;
+        }
+        let steps: Vec<Step> = best
+            .scenario
+            .steps()
+            .iter()
+            .filter(|step| match step {
+                Step::Op(op) => op.sites().iter().all(|s| s.index() != site),
+                Step::Settle => true,
+            })
+            .copied()
+            .collect();
+        let candidate = rebuild(&best, steps);
+        if still_fails(&candidate, mode, kind) {
+            best = candidate;
+        }
+    }
+
+    // Phase 4: one final single-step pass after the site drops.
+    let mut i = 0;
+    while i < best.scenario.steps().len() {
+        let steps: Vec<Step> = best
+            .scenario
+            .steps()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| *idx != i)
+            .map(|(_, s)| *s)
+            .collect();
+        let candidate = rebuild(&best, steps);
+        if candidate.scenario.len() < best.scenario.len() && still_fails(&candidate, mode, kind) {
+            best = candidate;
+        } else {
+            i += 1;
+        }
+    }
+
+    best
+}

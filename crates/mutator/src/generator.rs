@@ -1,0 +1,545 @@
+//! Composable, seeded scenario generation — the explorer's workload DSL.
+//!
+//! The hand-written generators in [`workloads`](crate::workloads) reproduce
+//! the paper's experiments exactly (their op sequences are pinned by
+//! `BENCH_baseline.json`), so they stay frozen. This module provides the
+//! *generalized* building blocks the differential explorer composes: the
+//! same structural families — lists, rings, garbage islands, third-party
+//! hubs, random churn — but parameterized over arbitrary site placements
+//! and mixed freely within one scenario, all derived deterministically from
+//! a seed.
+//!
+//! A [`ScenarioSpec`] is a site count plus a list of [`Segment`]s. Segments
+//! are *object-disjoint* (each allocates and manipulates only its own
+//! objects) but share the sites and the network, so their message traffic
+//! and settling points interleave — which is exactly where collectors
+//! disagree. [`ScenarioSpec::build`] returns the concrete [`Scenario`]
+//! together with metadata the differential checks need, e.g. which objects
+//! end the run as members of disconnected inter-site cycles (the garbage an
+//! acyclic collector can never reclaim).
+//!
+//! # Example
+//!
+//! ```
+//! use ggd_mutator::generator::{ScenarioSpec, SegmentWeights};
+//!
+//! let spec = ScenarioSpec::generate(7, &SegmentWeights::default());
+//! assert!((2..=ScenarioSpec::MAX_SITES).contains(&spec.sites));
+//! let built = spec.build(7);
+//! assert_eq!(built.scenario, spec.build(7).scenario, "same seed, same scenario");
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use ggd_types::SiteId;
+
+use crate::{MutatorOp, ObjName, Scenario};
+
+/// One composable building block of a generated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A doubly-linked list of `k` elements on `k` distinct sites, hung off
+    /// a fresh root and disconnected at the end: every element becomes a
+    /// member of a 2-cycle of distributed garbage.
+    List {
+        /// Number of elements (≥ 2).
+        k: u32,
+    },
+    /// A ring of `k` objects on `k` distinct sites, disconnected at the end:
+    /// one big cycle of distributed garbage.
+    Ring {
+        /// Number of ring members (≥ 2).
+        k: u32,
+    },
+    /// A ring over `island` distinct sites, each of which also hosts a live
+    /// chain of `live_per_site` objects; the island is disconnected at the
+    /// end while the live population stays reachable.
+    Island {
+        /// Number of island sites (≥ 2).
+        island: u32,
+        /// Live objects allocated per island site.
+        live_per_site: u32,
+    },
+    /// A third-party exchange hub: a hub root repeatedly forwards a
+    /// reference to a remote target object to `spokes` spoke roots. Nothing
+    /// becomes garbage; the segment exists to generate third-party traffic.
+    Hub {
+        /// Number of spokes (≥ 1).
+        spokes: u32,
+    },
+    /// `ops` random mutator operations (allocations, local links, reference
+    /// sends including third-party forwards, unlinks, slot clears) over the
+    /// segment's own objects, settling every 8 ops.
+    Churn {
+        /// Number of random operations.
+        ops: u32,
+    },
+}
+
+impl Segment {
+    /// Short, stable name used in corpus statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Segment::List { .. } => "list",
+            Segment::Ring { .. } => "ring",
+            Segment::Island { .. } => "island",
+            Segment::Hub { .. } => "hub",
+            Segment::Churn { .. } => "churn",
+        }
+    }
+}
+
+/// Relative weights for sampling segment kinds in [`ScenarioSpec::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentWeights {
+    /// Weight of [`Segment::List`].
+    pub list: u32,
+    /// Weight of [`Segment::Ring`].
+    pub ring: u32,
+    /// Weight of [`Segment::Island`].
+    pub island: u32,
+    /// Weight of [`Segment::Hub`].
+    pub hub: u32,
+    /// Weight of [`Segment::Churn`].
+    pub churn: u32,
+}
+
+impl Default for SegmentWeights {
+    fn default() -> Self {
+        SegmentWeights {
+            list: 2,
+            ring: 2,
+            island: 2,
+            hub: 1,
+            churn: 3,
+        }
+    }
+}
+
+impl SegmentWeights {
+    fn total(&self) -> u32 {
+        self.list + self.ring + self.island + self.hub + self.churn
+    }
+}
+
+/// A generated scenario specification: a site count plus the segments to
+/// compose. Everything downstream — the concrete op sequence, the fault
+/// schedule, the verdicts — is a pure function of `(spec, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Number of sites the scenario runs over (2..=[`ScenarioSpec::MAX_SITES`]).
+    pub sites: u32,
+    /// The segments, emitted in order into one shared scenario.
+    pub segments: Vec<Segment>,
+}
+
+/// A concrete scenario plus the generation metadata the differential
+/// checks consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuiltScenario {
+    /// The replayable op sequence.
+    pub scenario: Scenario,
+    /// Objects that end the run as members of disconnected *inter-site*
+    /// cycles: comprehensive collectors must reclaim them, acyclic
+    /// reference listing must never reclaim any of them.
+    pub cyclic: Vec<ObjName>,
+}
+
+impl ScenarioSpec {
+    /// Upper bound on generated site counts.
+    pub const MAX_SITES: u32 = 16;
+
+    /// Samples a specification from `seed`: a site count in
+    /// `2..=MAX_SITES` and 1–3 weighted segments sized to fit the sites.
+    pub fn generate(seed: u64, weights: &SegmentWeights) -> ScenarioSpec {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let sites = rng.gen_range(2u32..=Self::MAX_SITES);
+        let count = rng.gen_range(1u32..=3);
+        let segments = (0..count)
+            .map(|_| Self::sample_segment(&mut rng, sites, weights))
+            .collect();
+        ScenarioSpec { sites, segments }
+    }
+
+    fn sample_segment(rng: &mut ChaCha8Rng, sites: u32, weights: &SegmentWeights) -> Segment {
+        let total = weights.total().max(1);
+        let mut pick = rng.gen_range(0..total);
+        let cycle_k = |rng: &mut ChaCha8Rng| rng.gen_range(2u32..=sites.min(6));
+        if pick < weights.list {
+            return Segment::List { k: cycle_k(rng) };
+        }
+        pick -= weights.list;
+        if pick < weights.ring {
+            return Segment::Ring { k: cycle_k(rng) };
+        }
+        pick -= weights.ring;
+        if pick < weights.island {
+            return Segment::Island {
+                island: rng.gen_range(2u32..=sites.min(5)),
+                live_per_site: rng.gen_range(0u32..=3),
+            };
+        }
+        pick -= weights.island;
+        // A hub needs a hub site, a target site and at least one spoke site.
+        if pick < weights.hub && sites >= 3 {
+            return Segment::Hub {
+                spokes: rng.gen_range(1u32..=(sites - 2).min(6)),
+            };
+        }
+        Segment::Churn {
+            ops: rng.gen_range(16u32..=64),
+        }
+    }
+
+    /// Builds the concrete scenario for this spec, deterministically from
+    /// `seed` (placements and churn draws come from a `ChaCha8` stream).
+    pub fn build(&self, seed: u64) -> BuiltScenario {
+        assert!(self.sites >= 2, "a generated scenario needs two sites");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6765_6e5f_6767_6421);
+        let mut scenario = Scenario::new(self.sites);
+        let mut cyclic = Vec::new();
+        for segment in &self.segments {
+            match *segment {
+                Segment::List { k } => {
+                    emit_list(&mut scenario, &mut rng, self.sites, k, &mut cyclic)
+                }
+                Segment::Ring { k } => {
+                    emit_ring(&mut scenario, &mut rng, self.sites, k, &mut cyclic)
+                }
+                Segment::Island {
+                    island,
+                    live_per_site,
+                } => emit_island(
+                    &mut scenario,
+                    &mut rng,
+                    self.sites,
+                    island,
+                    live_per_site,
+                    &mut cyclic,
+                ),
+                Segment::Hub { spokes } => emit_hub(&mut scenario, &mut rng, self.sites, spokes),
+                Segment::Churn { ops } => emit_churn(&mut scenario, &mut rng, self.sites, ops),
+            }
+        }
+        scenario.settle();
+        BuiltScenario { scenario, cyclic }
+    }
+}
+
+/// `k` distinct sites drawn uniformly from `0..sites`.
+fn distinct_sites(rng: &mut ChaCha8Rng, sites: u32, k: u32) -> Vec<SiteId> {
+    let mut pool: Vec<SiteId> = (0..sites).map(SiteId::new).collect();
+    pool.shuffle(rng);
+    pool.truncate(k as usize);
+    pool
+}
+
+fn random_site(rng: &mut ChaCha8Rng, sites: u32) -> SiteId {
+    SiteId::new(rng.gen_range(0..sites))
+}
+
+fn emit_list(
+    s: &mut Scenario,
+    rng: &mut ChaCha8Rng,
+    sites: u32,
+    k: u32,
+    cyclic: &mut Vec<ObjName>,
+) {
+    let k = k.clamp(2, sites);
+    let element_sites = distinct_sites(rng, sites, k);
+    let root_site = random_site(rng, sites);
+    let root = s.alloc(root_site, true);
+    let elements: Vec<ObjName> = element_sites
+        .iter()
+        .map(|&site| s.alloc(site, false))
+        .collect();
+    // Head pointer, then next/prev links: each element's hosting site exports
+    // its own reference to the neighbour (lazy rule 1 both ways). Fully
+    // linked before the settling point so no element is collected while
+    // under construction.
+    s.send_ref(element_sites[0], root, elements[0]);
+    for i in 0..(k as usize - 1) {
+        s.send_ref(element_sites[i + 1], elements[i], elements[i + 1]); // next
+        s.send_ref(element_sites[i], elements[i + 1], elements[i]); // prev
+    }
+    s.settle();
+    s.op(MutatorOp::Unlink {
+        site: root_site,
+        from: root,
+        to: elements[0],
+    });
+    s.settle();
+    cyclic.extend(elements);
+}
+
+fn emit_ring(
+    s: &mut Scenario,
+    rng: &mut ChaCha8Rng,
+    sites: u32,
+    k: u32,
+    cyclic: &mut Vec<ObjName>,
+) {
+    let k = k.clamp(2, sites);
+    let member_sites = distinct_sites(rng, sites, k);
+    let root_site = random_site(rng, sites);
+    let root = s.alloc(root_site, true);
+    let members: Vec<ObjName> = member_sites
+        .iter()
+        .map(|&site| s.alloc(site, false))
+        .collect();
+    s.send_ref(member_sites[0], root, members[0]);
+    for i in 0..k as usize {
+        let next = (i + 1) % k as usize;
+        s.send_ref(member_sites[next], members[i], members[next]);
+    }
+    s.settle();
+    s.op(MutatorOp::Unlink {
+        site: root_site,
+        from: root,
+        to: members[0],
+    });
+    s.settle();
+    cyclic.extend(members);
+}
+
+fn emit_island(
+    s: &mut Scenario,
+    rng: &mut ChaCha8Rng,
+    sites: u32,
+    island: u32,
+    live_per_site: u32,
+    cyclic: &mut Vec<ObjName>,
+) {
+    let island = island.clamp(2, sites);
+    let island_sites = distinct_sites(rng, sites, island);
+    // Live population on the island's sites: a local root with a chain of
+    // local objects, never dropped.
+    for &site in &island_sites {
+        let mut prev = s.alloc(site, true);
+        for _ in 0..live_per_site {
+            let obj = s.alloc(site, false);
+            s.op(MutatorOp::LinkLocal {
+                site,
+                from: prev,
+                to: obj,
+            });
+            prev = obj;
+        }
+    }
+    // The island: a ring over the island sites hanging off a root on the
+    // first island site, then disconnected.
+    let anchor_site = island_sites[0];
+    let anchor = s.alloc(anchor_site, true);
+    let members: Vec<ObjName> = island_sites
+        .iter()
+        .map(|&site| s.alloc(site, false))
+        .collect();
+    s.send_ref(island_sites[0], anchor, members[0]);
+    for i in 0..island as usize {
+        let next = (i + 1) % island as usize;
+        s.send_ref(island_sites[next], members[i], members[next]);
+    }
+    s.settle();
+    s.op(MutatorOp::Unlink {
+        site: anchor_site,
+        from: anchor,
+        to: members[0],
+    });
+    s.settle();
+    cyclic.extend(members);
+}
+
+fn emit_hub(s: &mut Scenario, rng: &mut ChaCha8Rng, sites: u32, spokes: u32) {
+    let mut picked = distinct_sites(rng, sites, sites.min(spokes + 2));
+    let hub_site = picked.remove(0);
+    let target_site = picked.remove(0);
+    // On a two-site system the spokes live with the target.
+    if picked.is_empty() {
+        picked.push(target_site);
+    }
+    let hub = s.alloc(hub_site, true);
+    let target = s.alloc(target_site, false);
+    s.send_ref(target_site, hub, target);
+    s.settle();
+    for i in 0..spokes {
+        // Spokes beyond the distinct pool wrap around over the picked sites.
+        let spoke_site = picked[i as usize % picked.len()];
+        let spoke = s.alloc(spoke_site, true);
+        s.send_ref(spoke_site, hub, spoke);
+        s.settle();
+        // The hub forwards the third-party reference to the spoke.
+        s.send_ref(hub_site, spoke, target);
+    }
+    s.settle();
+}
+
+fn emit_churn(s: &mut Scenario, rng: &mut ChaCha8Rng, sites: u32, ops: u32) {
+    // One segment-local root per site; all tracking below is segment-local,
+    // so concurrent segments never touch each other's objects.
+    let roots: Vec<ObjName> = (0..sites).map(|i| s.alloc(SiteId::new(i), true)).collect();
+    let mut objects: Vec<(ObjName, SiteId)> = roots
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| (name, SiteId::new(i as u32)))
+        .collect();
+    let mut links: Vec<(SiteId, ObjName, ObjName)> = Vec::new();
+    // Sites that legitimately hold (or have been sent) a reference to each
+    // object besides its own site — a real mutator cannot forge references.
+    let mut forwarders: std::collections::BTreeMap<ObjName, Vec<SiteId>> =
+        std::collections::BTreeMap::new();
+    // Objects that may legally *receive* a reference message: local roots
+    // (well-known anchors) and objects whose own reference has been
+    // exported before (which pins them as global-root vertices until
+    // proven unreachable). A message to anything else could not have been
+    // addressed by a real mutator — see "anchored recipients" in the
+    // module docs of `ggd-explore`.
+    let mut anchored: Vec<(ObjName, SiteId)> = objects.clone();
+
+    for step in 0..ops {
+        match rng.gen_range(0..5u8) {
+            0 => {
+                let site = random_site(rng, sites);
+                let name = s.alloc(site, false);
+                let holder = objects
+                    .iter()
+                    .filter(|(_, hosting)| *hosting == site)
+                    .map(|&(n, _)| n)
+                    .collect::<Vec<_>>()
+                    .choose(rng)
+                    .copied()
+                    .unwrap_or(roots[site.index() as usize]);
+                s.op(MutatorOp::LinkLocal {
+                    site,
+                    from: holder,
+                    to: name,
+                });
+                links.push((site, holder, name));
+                objects.push((name, site));
+            }
+            1 | 2 => {
+                let &(target, target_site) = objects.choose(rng).expect("objects");
+                let &(recipient, recipient_site) = if rng.gen_bool(0.5) {
+                    let idx = rng.gen_range(0..sites) as usize;
+                    &(roots[idx], SiteId::new(idx as u32))
+                } else {
+                    anchored.choose(rng).expect("roots are always anchored")
+                };
+                if target_site != recipient_site {
+                    let mut senders = vec![target_site];
+                    senders.extend(forwarders.get(&target).into_iter().flatten().copied());
+                    let from_site = *senders.choose(rng).expect("nonempty");
+                    s.send_ref(from_site, recipient, target);
+                    // The export pins `target` as a global root: it is now
+                    // an anchored, addressable vertex.
+                    if !anchored.iter().any(|&(n, _)| n == target) {
+                        anchored.push((target, target_site));
+                    }
+                    if roots.contains(&recipient) {
+                        forwarders.entry(target).or_default().push(recipient_site);
+                    }
+                }
+            }
+            3 => {
+                if !links.is_empty() {
+                    let idx = rng.gen_range(0..links.len());
+                    let (site, from, to) = links.swap_remove(idx);
+                    s.op(MutatorOp::Unlink { site, from, to });
+                }
+            }
+            _ => {
+                let candidates: Vec<ObjName> = objects
+                    .iter()
+                    .map(|&(n, _)| n)
+                    .filter(|n| !roots.contains(n))
+                    .collect();
+                if let Some(&name) = candidates.choose(rng) {
+                    let site = objects
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|&(_, hosting)| hosting)
+                        .expect("known object");
+                    s.op(MutatorOp::ClearRefs { site, name });
+                }
+            }
+        }
+        if step % 8 == 7 {
+            s.settle();
+        }
+    }
+    s.settle();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Step;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..20u64 {
+            let a = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            let b = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            assert_eq!(a, b);
+            assert_eq!(a.build(seed), b.build(seed));
+        }
+        let a = ScenarioSpec::generate(1, &SegmentWeights::default());
+        let b = ScenarioSpec::generate(2, &SegmentWeights::default());
+        assert!(a != b || a.build(1) != b.build(2));
+    }
+
+    #[test]
+    fn specs_respect_the_site_bound() {
+        for seed in 0..200u64 {
+            let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            assert!((2..=ScenarioSpec::MAX_SITES).contains(&spec.sites));
+            assert!((1..=3).contains(&spec.segments.len()));
+            let built = spec.build(seed);
+            assert_eq!(built.scenario.site_count(), spec.sites);
+            for step in built.scenario.steps() {
+                if let Step::Op(op) = step {
+                    for site in op.sites() {
+                        assert!(site.index() < spec.sites, "op targets site out of range");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_members_come_from_cycle_segments_only() {
+        let spec = ScenarioSpec {
+            sites: 6,
+            segments: vec![Segment::Ring { k: 4 }, Segment::Churn { ops: 24 }],
+        };
+        let built = spec.build(3);
+        assert_eq!(built.cyclic.len(), 4, "the ring contributes its members");
+        let spec = ScenarioSpec {
+            sites: 4,
+            segments: vec![Segment::Hub { spokes: 2 }],
+        };
+        assert!(spec.build(3).cyclic.is_empty(), "hubs produce no garbage");
+    }
+
+    #[test]
+    fn every_generated_op_references_defined_names() {
+        for seed in 0..50u64 {
+            let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            let built = spec.build(seed);
+            let mut defined = std::collections::BTreeSet::new();
+            for step in built.scenario.steps() {
+                if let Step::Op(op) = step {
+                    if let Some(name) = op.defined_name() {
+                        assert!(defined.insert(name), "names are unique");
+                    }
+                    for used in op.used_names() {
+                        assert!(defined.contains(&used), "op uses undefined name");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! assert_eq!(scenario.site_count(), 4);
 //! ```
 
+pub mod generator;
 pub mod workloads;
 
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,51 @@ pub enum MutatorOp {
     CollectAll,
 }
 
+impl MutatorOp {
+    /// The symbolic name this operation defines (only [`MutatorOp::Alloc`]
+    /// defines one).
+    pub fn defined_name(&self) -> Option<ObjName> {
+        match self {
+            MutatorOp::Alloc { name, .. } => Some(*name),
+            _ => None,
+        }
+    }
+
+    /// The symbolic names this operation uses; they must all have been
+    /// defined by an earlier `Alloc` for the operation to be replayable.
+    pub fn used_names(&self) -> Vec<ObjName> {
+        match self {
+            MutatorOp::Alloc { .. } | MutatorOp::CollectSite { .. } | MutatorOp::CollectAll => {
+                Vec::new()
+            }
+            MutatorOp::LinkLocal { from, to, .. } | MutatorOp::Unlink { from, to, .. } => {
+                vec![*from, *to]
+            }
+            MutatorOp::SendRef {
+                recipient, target, ..
+            } => vec![*recipient, *target],
+            MutatorOp::DropLocalRoot { name, .. } | MutatorOp::ClearRefs { name, .. } => {
+                vec![*name]
+            }
+        }
+    }
+
+    /// The sites this operation names explicitly (the hosting sites of the
+    /// objects it touches by name are bound at their `Alloc`).
+    pub fn sites(&self) -> Vec<SiteId> {
+        match self {
+            MutatorOp::Alloc { site, .. }
+            | MutatorOp::LinkLocal { site, .. }
+            | MutatorOp::Unlink { site, .. }
+            | MutatorOp::DropLocalRoot { site, .. }
+            | MutatorOp::ClearRefs { site, .. }
+            | MutatorOp::CollectSite { site } => vec![*site],
+            MutatorOp::SendRef { from_site, .. } => vec![*from_site],
+            MutatorOp::CollectAll => Vec::new(),
+        }
+    }
+}
+
 /// One step of a scenario: either a mutator operation or a settling point at
 /// which the simulator delivers all in-flight messages, runs local
 /// collections and lets GGD reach quiescence.
@@ -135,6 +181,26 @@ impl Scenario {
             site_count,
             steps: Vec::new(),
             next_name: 0,
+        }
+    }
+
+    /// Rebuilds a scenario from raw steps — the explorer's shrinker uses
+    /// this to replay candidate subsets of a failing scenario. The fresh-name
+    /// counter resumes above every name the steps define.
+    pub fn from_steps(site_count: u32, steps: impl IntoIterator<Item = Step>) -> Scenario {
+        let steps: Vec<Step> = steps.into_iter().collect();
+        let next_name = steps
+            .iter()
+            .filter_map(|step| match step {
+                Step::Op(op) => op.defined_name().map(|n| n.0 + 1),
+                Step::Settle => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Scenario {
+            site_count,
+            steps,
+            next_name,
         }
     }
 

@@ -148,6 +148,96 @@ impl FaultPlan {
         self.stalled.contains(&site)
     }
 
+    /// True when the plan can never *lose* a message: no drop probability
+    /// anywhere and no partitions. Duplication, delay and stalled sites are
+    /// allowed — they reorder or postpone delivery but lose nothing, so the
+    /// comprehensiveness cross-checks of the differential explorer still
+    /// apply.
+    pub fn is_loss_free(&self) -> bool {
+        self.drop_probability == 0.0
+            && self
+                .link_overrides
+                .values()
+                .all(|f| f.drop_probability == 0.0)
+            && self.partitions.is_empty()
+    }
+
+    /// The differential explorer's fault matrix for a system of `sites`
+    /// sites: loss, duplication, delay and stall combinations, each paired
+    /// with the Rust expression that rebuilds it (used when printing
+    /// shrunk-failure reproducers).
+    ///
+    /// Every entry is deterministic under a seeded [`SimNetwork`]
+    /// (probabilities are evaluated with the network's RNG), so a
+    /// `(scenario, matrix entry, seed)` triple always replays identically.
+    ///
+    /// [`SimNetwork`]: crate::SimNetwork
+    pub fn matrix(sites: u32) -> Vec<NamedFaultPlan> {
+        let last = SiteId::new(sites.saturating_sub(1));
+        let delayed = LinkFault {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_delay: 4,
+        };
+        let mut entries = vec![
+            NamedFaultPlan::new("reliable", "FaultPlan::new()", FaultPlan::new()),
+            NamedFaultPlan::new(
+                "drop10",
+                "FaultPlan::new().with_drop_probability(0.1)",
+                FaultPlan::new().with_drop_probability(0.1),
+            ),
+            NamedFaultPlan::new(
+                "drop30",
+                "FaultPlan::new().with_drop_probability(0.3)",
+                FaultPlan::new().with_drop_probability(0.3),
+            ),
+            NamedFaultPlan::new(
+                "dup30",
+                "FaultPlan::new().with_duplicate_probability(0.3)",
+                FaultPlan::new().with_duplicate_probability(0.3),
+            ),
+            NamedFaultPlan::new(
+                "drop20_dup20",
+                "FaultPlan::new().with_drop_probability(0.2).with_duplicate_probability(0.2)",
+                FaultPlan::new()
+                    .with_drop_probability(0.2)
+                    .with_duplicate_probability(0.2),
+            ),
+            NamedFaultPlan::new(
+                "delay_0_1",
+                "FaultPlan::new()\
+                 .with_link_fault(SiteId::new(0), SiteId::new(1), \
+                 LinkFault { drop_probability: 0.0, duplicate_probability: 0.0, extra_delay: 4 })\
+                 .with_link_fault(SiteId::new(1), SiteId::new(0), \
+                 LinkFault { drop_probability: 0.0, duplicate_probability: 0.0, extra_delay: 4 })",
+                FaultPlan::new()
+                    .with_link_fault(SiteId::new(0), SiteId::new(1), delayed)
+                    .with_link_fault(SiteId::new(1), SiteId::new(0), delayed),
+            ),
+        ];
+        if sites >= 2 {
+            entries.push(NamedFaultPlan::new(
+                "stall_last",
+                &format!(
+                    "FaultPlan::new().with_stalled_site(SiteId::new({}))",
+                    last.index()
+                ),
+                FaultPlan::new().with_stalled_site(last),
+            ));
+            entries.push(NamedFaultPlan::new(
+                "stall_last_drop10",
+                &format!(
+                    "FaultPlan::new().with_drop_probability(0.1).with_stalled_site(SiteId::new({}))",
+                    last.index()
+                ),
+                FaultPlan::new()
+                    .with_drop_probability(0.1)
+                    .with_stalled_site(last),
+            ));
+        }
+        entries
+    }
+
     /// True when the plan can never drop nor duplicate a message.
     pub fn is_reliable(&self) -> bool {
         self.drop_probability == 0.0
@@ -164,6 +254,31 @@ impl FaultPlan {
             (a, b)
         } else {
             (b, a)
+        }
+    }
+}
+
+/// One entry of the explorer's fault matrix: a fault plan, its stable name
+/// (for corpus statistics) and the Rust expression that rebuilds it (for
+/// self-contained shrunk-failure reproducers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedFaultPlan {
+    /// Stable name used in statistics tables.
+    pub name: String,
+    /// A Rust expression evaluating to `plan` (assumes `ggd::prelude::*`
+    /// plus `LinkFault` are in scope).
+    pub code: String,
+    /// The plan itself.
+    pub plan: FaultPlan,
+}
+
+impl NamedFaultPlan {
+    /// Creates a matrix entry.
+    pub fn new(name: &str, code: &str, plan: FaultPlan) -> Self {
+        NamedFaultPlan {
+            name: name.to_owned(),
+            code: code.to_owned(),
+            plan,
         }
     }
 }
@@ -235,5 +350,60 @@ mod tests {
     #[should_panic]
     fn invalid_probability_panics() {
         let _ = FaultPlan::new().with_drop_probability(1.5);
+    }
+
+    #[test]
+    fn loss_freedom_tracks_drops_and_partitions_only() {
+        assert!(FaultPlan::new().is_loss_free());
+        assert!(FaultPlan::new()
+            .with_duplicate_probability(0.5)
+            .is_loss_free());
+        assert!(FaultPlan::new()
+            .with_stalled_site(SiteId::new(1))
+            .is_loss_free());
+        assert!(!FaultPlan::new().with_drop_probability(0.1).is_loss_free());
+        assert!(!FaultPlan::new()
+            .with_partition(SiteId::new(0), SiteId::new(1))
+            .is_loss_free());
+        assert!(!FaultPlan::new()
+            .with_link_fault(
+                SiteId::new(0),
+                SiteId::new(1),
+                LinkFault {
+                    drop_probability: 0.2,
+                    duplicate_probability: 0.0,
+                    extra_delay: 0,
+                },
+            )
+            .is_loss_free());
+    }
+
+    #[test]
+    fn matrix_covers_loss_dup_delay_and_stall() {
+        let matrix = FaultPlan::matrix(4);
+        assert!(matrix.len() >= 8);
+        let names: Vec<&str> = matrix.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "reliable",
+            "drop30",
+            "dup30",
+            "delay_0_1",
+            "stall_last",
+            "stall_last_drop10",
+        ] {
+            assert!(names.contains(&expected), "matrix misses {expected}");
+        }
+        let reliable = matrix.iter().find(|e| e.name == "reliable").unwrap();
+        assert!(reliable.plan.is_reliable());
+        let stall = matrix.iter().find(|e| e.name == "stall_last").unwrap();
+        assert!(stall.plan.is_stalled(SiteId::new(3)));
+        assert!(stall.plan.is_loss_free());
+        for entry in &matrix {
+            assert!(
+                !entry.code.is_empty(),
+                "{} has no reproducer code",
+                entry.name
+            );
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! [`ThreadedNetwork`] (real OS threads, scheduler-dependent interleaving).
 //! Per-site behavior lives in [`SiteRuntime`](crate::SiteRuntime).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ggd_heap::SiteHeap;
 use ggd_mutator::{MutatorOp, ObjName, Scenario, Step};
@@ -64,6 +64,7 @@ where
     net: T,
     names: BTreeMap<ObjName, GlobalAddr>,
     reclaimed: u64,
+    reclaimed_addrs: BTreeSet<GlobalAddr>,
     safety_violations: u64,
     verdicts: u64,
     triggered_at: Option<u64>,
@@ -92,6 +93,23 @@ impl<C: Collector> Cluster<C> {
     /// partitions, resume stalled sites, …) between steps.
     pub fn faults_mut(&mut self) -> &mut FaultPlan {
         self.net.faults_mut()
+    }
+
+    /// Builds a simulated cluster for `scenario`, runs it to completion and
+    /// returns the report together with the finished cluster, ready for
+    /// oracle inspection ([`Cluster::garbage_addrs`],
+    /// [`Cluster::reclaimed_addrs`]). Everything is derived from
+    /// `(scenario, config)`, so calling this twice with the same inputs
+    /// produces identical reports — the replay-determinism contract the
+    /// differential explorer cross-checks.
+    pub fn run_seeded(
+        scenario: &Scenario,
+        config: ClusterConfig,
+        factory: impl Fn(SiteId) -> C,
+    ) -> (RunReport, Self) {
+        let mut cluster = Cluster::from_scenario(scenario, config, factory);
+        let report = cluster.run(scenario);
+        (report, cluster)
     }
 }
 
@@ -141,6 +159,7 @@ where
             net: transport,
             names: BTreeMap::new(),
             reclaimed: 0,
+            reclaimed_addrs: BTreeSet::new(),
             safety_violations: 0,
             verdicts: 0,
             triggered_at: None,
@@ -161,6 +180,25 @@ where
     /// Read access to a site's collector.
     pub fn collector(&self, site: SiteId) -> &C {
         self.sites[&site].collector()
+    }
+
+    /// Iterates over every site's heap, in site order — the inputs the
+    /// [`Oracle`] judges the cluster by.
+    pub fn heaps(&self) -> impl Iterator<Item = &SiteHeap> {
+        self.sites.values().map(SiteRuntime::heap)
+    }
+
+    /// The addresses of every object reclaimed by local collections so far.
+    /// Differential checks compare these sets across collectors (e.g.
+    /// reference listing must never reclaim a cycle member).
+    pub fn reclaimed_addrs(&self) -> &BTreeSet<GlobalAddr> {
+        &self.reclaimed_addrs
+    }
+
+    /// The current residual-garbage set: objects that exist but are
+    /// globally unreachable, per the oracle.
+    pub fn garbage_addrs(&self) -> BTreeSet<GlobalAddr> {
+        Oracle::garbage(self.heaps())
     }
 
     /// Runs a whole scenario and returns the end-of-run report.
@@ -209,14 +247,27 @@ where
                     .site_mut(from_site)
                     .export_reference(target_addr, recipient_addr);
                 self.absorb_tick(from_site, tick);
-                self.net.send(
-                    from_site,
-                    recipient_addr.site(),
-                    SimPayload::Reference {
-                        recipient: recipient_addr,
-                        target: target_addr,
-                    },
-                );
+                if recipient_addr.site() == from_site {
+                    // A same-site transfer is a local mutation, not a
+                    // network message (see `SiteRuntime::export_reference`):
+                    // the reference is stored immediately and must not be
+                    // droppable, duplicable or stallable by the fault plan.
+                    let tick = self.site_mut(from_site).receive_reference(
+                        from_site,
+                        recipient_addr,
+                        target_addr,
+                    );
+                    self.absorb_tick(from_site, tick);
+                } else {
+                    self.net.send(
+                        from_site,
+                        recipient_addr.site(),
+                        SimPayload::Reference {
+                            recipient: recipient_addr,
+                            target: target_addr,
+                        },
+                    );
+                }
             }
             MutatorOp::DropLocalRoot { site, name } => {
                 let addr = self.names[&name];
@@ -245,7 +296,7 @@ where
                 let from = delivery.from;
                 let tick = match delivery.payload {
                     SimPayload::Reference { recipient, target } => {
-                        self.site_mut(to).receive_reference(recipient, target)
+                        self.site_mut(to).receive_reference(from, recipient, target)
                     }
                     SimPayload::Control(msg) => self.site_mut(to).on_control(from, msg),
                 };
@@ -274,6 +325,7 @@ where
             if live.contains(&addr) {
                 self.safety_violations += 1;
             }
+            self.reclaimed_addrs.insert(addr);
         }
         self.reclaimed += outcome.freed.len() as u64;
         if let Some(tick) = tick {

@@ -116,11 +116,20 @@ impl<C: Collector> SiteRuntime<C> {
     /// The caller puts the reference-carrying mutator message on the wire
     /// *after* absorbing the returned tick, mirroring the paper's ordering
     /// (log-keeping happens at the send event).
+    ///
+    /// A transfer whose recipient lives on this very site is *not* a
+    /// relevant event in the paper's sense (§3.1): no reference crosses a
+    /// site boundary, so no global root is registered and no lazy-rule hook
+    /// fires — the stored reference surfaces through the next reachability
+    /// snapshot like any local mutation.
     pub fn export_reference(
         &mut self,
         target: GlobalAddr,
         recipient: GlobalAddr,
     ) -> SiteTick<C::Msg> {
+        if recipient.site() == self.site {
+            return self.sync();
+        }
         if target.site() == self.site {
             if self.heap.contains(target.object()) {
                 self.heap
@@ -135,14 +144,18 @@ impl<C: Collector> SiteRuntime<C> {
     }
 
     /// The receiving half of a reference transfer: stores the reference if
-    /// the recipient still exists and fires the receive hook.
+    /// the recipient still exists and fires the receive hook. Mirroring
+    /// [`SiteRuntime::export_reference`], a same-site transfer (`from` is
+    /// this site) fires no hook — it was never a relevant event.
     pub fn receive_reference(
         &mut self,
+        from: SiteId,
         recipient: GlobalAddr,
         target: GlobalAddr,
     ) -> SiteTick<C::Msg> {
         if self.heap.contains(recipient.object())
             && self.heap.receive_ref(recipient.object(), target).is_ok()
+            && from != self.site
         {
             self.collector.on_receive_ref(recipient, target);
         }

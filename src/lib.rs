@@ -17,7 +17,10 @@
 //!   vector-time reconstruction);
 //! * [`baselines`] — reference-listing and graph-tracing baselines;
 //! * [`sim`] — the transport-generic cluster, per-site runtimes, oracle and
-//!   experiment reports.
+//!   experiment reports;
+//! * [`explore`] — the deterministic scenario explorer: generated
+//!   `(scenario, fault plan, seed)` corpora differentially tested across
+//!   all collectors, with greedy shrinking of failures.
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use ggd_baselines as baselines;
 pub use ggd_causal as causal;
+pub use ggd_explore as explore;
 pub use ggd_heap as heap;
 pub use ggd_mutator as mutator;
 pub use ggd_net as net;
@@ -46,10 +50,13 @@ pub use ggd_types as types;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use ggd_causal::{CausalEngine, CausalMessage};
+    pub use ggd_explore::{explore, run_triple, CheckFailure, ExplorerConfig, RunMode, Triple};
     pub use ggd_heap::{ObjRef, SiteHeap};
+    pub use ggd_mutator::generator::{ScenarioSpec, Segment, SegmentWeights};
     pub use ggd_mutator::{workloads, MutatorOp, ObjName, Scenario, Step};
     pub use ggd_net::{
-        FaultPlan, NetMetrics, SimNetwork, SimNetworkConfig, ThreadedNetwork, Transport,
+        FaultPlan, LinkFault, NamedFaultPlan, NetMetrics, SimNetwork, SimNetworkConfig,
+        ThreadedNetwork, Transport,
     };
     pub use ggd_sim::{
         CausalCollector, Cluster, ClusterConfig, Collector, Oracle, RefListingCollector, RunReport,

@@ -1,23 +1,148 @@
-//! Property-based, cross-crate tests of the headline invariants: safety
-//! (never free a reachable object) and comprehensiveness at quiescence
-//! (no unreachable object survives) under randomly generated workloads,
-//! delivery schedules and fault plans.
+//! Property-based, cross-crate tests of the headline invariants, driven by
+//! the explorer's scenario generator (`ggd_mutator::generator`) and fault
+//! matrix (`FaultPlan::matrix`): safety under every fault plan, and the
+//! comprehensiveness ordering between the causal collector and the tracing
+//! baseline on loss-free plans.
+//!
+//! Each property runs twice: once over a *pinned seed corpus* (fixed seeds,
+//! checked one by one, so a regression names the exact failing seed) and
+//! once over proptest-sampled seeds for fresh coverage on every run.
 
 use ggd::prelude::*;
 use proptest::prelude::*;
 
+/// Builds the differential triple for `(spec seed, matrix entry)` exactly
+/// the way the pinned corpora were validated.
+fn triple_for(seed: u64, entry: NamedFaultPlan) -> Triple {
+    let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+    let built = spec.build(seed);
+    Triple {
+        scenario: built.scenario,
+        fault: entry,
+        jitter: seed % 3,
+        seed: seed.wrapping_mul(31),
+        cyclic: built.cyclic,
+    }
+}
+
+/// Pinned corpus for the safety property. Safety must hold on *every*
+/// seed; these are simply frozen so failures reproduce by name.
+const PINNED_SAFETY_SEEDS: &[u64] = &[0, 1, 2, 3, 7, 16, 19, 25];
+
+/// Pinned corpus for the comprehensiveness-ordering property: seeds whose
+/// generated scenarios stay divergence-free on every loss-free plan. Seeds
+/// hitting the documented concurrent-re-export limitation (e.g. 1, 7, 16 —
+/// see "Known limitations" in DESIGN.md) are excluded on purpose and one is
+/// pinned as *diverging* below.
+const PINNED_SUBSET_SEEDS: &[u64] = &[0, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13];
+
+/// A seed whose scenario diverges on the *reliable* plan — the pinned
+/// representative of the concurrent-re-export limitation.
+const PINNED_DIVERGING_SEED: u64 = 7;
+
+/// "No violations under any fault plan": every pinned scenario, under every
+/// entry of the fault matrix, leaves all three collectors with zero safety
+/// violations (reference listing is checked on the loss-free entries, where
+/// its eager protocol is sound).
+#[test]
+fn pinned_corpus_has_no_violations_under_any_fault_plan() {
+    for &seed in PINNED_SAFETY_SEEDS {
+        let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+        for entry in FaultPlan::matrix(spec.sites) {
+            let name = entry.name.clone();
+            let outcome = run_triple(&triple_for(seed, entry), RunMode::Standard);
+            assert_eq!(outcome.causal.safety_violations, 0, "seed {seed}/{name}");
+            assert_eq!(outcome.tracing.safety_violations, 0, "seed {seed}/{name}");
+            if let Some(reflisting) = &outcome.reflisting {
+                assert_eq!(reflisting.safety_violations, 0, "seed {seed}/{name}");
+            }
+            assert!(
+                !outcome.failures.iter().any(|f| f.kind() == "safety"),
+                "seed {seed}/{name}: {:?}",
+                outcome.failures
+            );
+        }
+    }
+}
+
+/// "Causal reclaims everything tracing reclaims on loss-free runs": on the
+/// pinned corpus, no `causal-residual-exceeds-tracing` divergence appears
+/// on any loss-free matrix entry (equivalently: causal residual ⊆ tracing
+/// residual, as concrete address sets).
+#[test]
+fn pinned_corpus_causal_reclaims_everything_tracing_reclaims_on_loss_free_plans() {
+    for &seed in PINNED_SUBSET_SEEDS {
+        let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+        for entry in FaultPlan::matrix(spec.sites) {
+            if !entry.plan.is_loss_free() {
+                continue;
+            }
+            let name = entry.name.clone();
+            let outcome = run_triple(&triple_for(seed, entry), RunMode::Standard);
+            assert!(
+                outcome.failures.is_empty(),
+                "seed {seed}/{name}: {:?}",
+                outcome.failures
+            );
+        }
+    }
+}
+
+/// The documented limitation stays observable: the pinned seed generates a
+/// scenario with concurrent re-exports that the causal engine does not
+/// fully detect (residual only — safety holds), even on the reliable plan.
+/// If this starts passing, the engine improved: move the seed into
+/// `PINNED_SUBSET_SEEDS` and find a new representative, or drop this pin
+/// with a note in DESIGN.md.
+#[test]
+fn known_reexport_limitation_is_still_detected_as_divergence() {
+    let seed = PINNED_DIVERGING_SEED;
+    let matrix = FaultPlan::matrix(ScenarioSpec::generate(seed, &SegmentWeights::default()).sites);
+    let reliable = matrix
+        .into_iter()
+        .find(|e| e.name == "reliable")
+        .expect("matrix has a reliable entry");
+    let outcome = run_triple(&triple_for(seed, reliable), RunMode::Standard);
+    assert_eq!(outcome.causal.safety_violations, 0);
+    assert!(
+        outcome
+            .failures
+            .iter()
+            .all(|f| f.kind() == "causal-residual-exceeds-tracing"),
+        "only the comprehensiveness divergence is expected: {:?}",
+        outcome.failures
+    );
+    assert!(
+        outcome.has_kind("causal-residual-exceeds-tracing"),
+        "seed {seed} no longer diverges — the causal engine improved; update the pins"
+    );
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Safety on freshly sampled generator seeds and matrix entries: the
+    /// causal and tracing collectors never free a reachable object, under
+    /// any fault plan the matrix contains.
+    #[test]
+    fn generated_scenarios_are_safe_under_sampled_fault_plans(
+        seed in 0u64..5000,
+        plan_index in 0usize..8,
+    ) {
+        let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+        let matrix = FaultPlan::matrix(spec.sites);
+        let entry = matrix[plan_index % matrix.len()].clone();
+        let outcome = run_triple(&triple_for(seed, entry), RunMode::Standard);
+        prop_assert_eq!(outcome.causal.safety_violations, 0);
+        prop_assert_eq!(outcome.tracing.safety_violations, 0);
+        if let Some(reflisting) = &outcome.reflisting {
+            prop_assert_eq!(reflisting.safety_violations, 0);
+        }
+    }
 
     /// With reliable delivery the causal collector never frees a reachable
-    /// object, on arbitrary churn workloads and delivery schedules.
-    ///
-    /// Only safety is asserted here: on randomised churn, rare interleavings
-    /// of concurrent re-exports can leave a few objects undetected (residual
-    /// garbage, never a safety risk) — see the "Known limitations" section
-    /// of DESIGN.md. Comprehensiveness is asserted on the structured
-    /// workloads (rings, lists, islands, the paper example) in the
-    /// integration tests and in `rings_are_always_collected` below.
+    /// object, on arbitrary churn workloads and delivery schedules (the
+    /// pre-explorer property, kept as a direct engine exercise).
     #[test]
     fn safe_on_random_workloads(
         sites in 2u32..6,

@@ -1,0 +1,83 @@
+//! ThreadedNetwork stress: a churn workload over 8 sites through every
+//! collector family, on real OS threads, with a hard timeout.
+//!
+//! Ignored by default so `cargo test` stays fast and scheduler-dependent
+//! timing cannot flake CI; opt in with:
+//!
+//! ```sh
+//! cargo test --test stress -- --ignored
+//! ```
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use ggd::prelude::*;
+
+/// Wall-clock budget for the whole three-collector run. Generous: the run
+/// takes well under a second in release and a few seconds in debug; only a
+/// genuine hang (e.g. a transport that stops delivering while the settle
+/// loop waits) should ever exhaust it.
+const HARD_TIMEOUT: Duration = Duration::from_secs(120);
+
+#[test]
+#[ignore = "threaded stress run; opt in with `cargo test --test stress -- --ignored`"]
+fn threaded_churn_stress_across_all_collectors() {
+    let (tx, rx) = mpsc::channel();
+    // The run executes on a worker thread so the test thread can enforce
+    // the hard timeout; on timeout the worker is abandoned (the process
+    // exits with the failing test).
+    thread::spawn(move || {
+        let scenario = workloads::random_churn(8, 200, 21);
+        let mut reports: Vec<(&'static str, RunReport)> = Vec::new();
+
+        let mut causal = Cluster::threaded_from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            CausalCollector::new,
+        );
+        reports.push(("causal", causal.run(&scenario)));
+
+        let mut tracing = Cluster::threaded_from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        reports.push(("tracing", tracing.run(&scenario)));
+
+        let mut reflisting = Cluster::threaded_from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            RefListingCollector::new,
+        );
+        reports.push(("reflisting", reflisting.run(&scenario)));
+
+        let _ = tx.send(reports);
+    });
+
+    let reports = match rx.recv_timeout(HARD_TIMEOUT) {
+        Ok(reports) => reports,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("stress run exceeded the hard timeout — a transport or settle loop hangs")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("stress worker panicked before reporting; see its panic output above")
+        }
+    };
+
+    for (name, report) in &reports {
+        assert_eq!(
+            report.safety_violations, 0,
+            "{name} violated safety under threaded churn"
+        );
+        assert_eq!(report.sites, 8, "{name} ran the wrong cluster size");
+        assert!(report.allocated > 0, "{name} executed no allocations");
+    }
+    // The mutator traffic is schedule-independent: every collector saw the
+    // same scenario, so the reference-transfer counts must agree.
+    let mutator_counts: Vec<u64> = reports.iter().map(|(_, r)| r.mutator_messages()).collect();
+    assert!(
+        mutator_counts.windows(2).all(|w| w[0] == w[1]),
+        "mutator traffic diverged across collectors: {mutator_counts:?}"
+    );
+}

@@ -9,6 +9,9 @@ pub trait SliceRandom {
 
     /// Returns a uniformly chosen element, or `None` if the slice is empty.
     fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
 }
 
 impl<T> SliceRandom for [T] {
@@ -19,6 +22,13 @@ impl<T> SliceRandom for [T] {
             None
         } else {
             self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
         }
     }
 }
