@@ -12,29 +12,79 @@ use ggd_causal::DkLog;
 use ggd_mutator::workloads;
 use ggd_types::{DependencyVector, Timestamp, VertexId};
 
+fn vector_of(size: usize, offset: u64) -> DependencyVector {
+    (0..size)
+        .map(|i| {
+            (
+                VertexId::object(i as u32, 1),
+                Timestamp::created(i as u64 + offset),
+            )
+        })
+        .collect()
+}
+
 fn bench_vector_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector");
     for size in [8usize, 64, 256] {
-        let a: DependencyVector = (0..size)
+        let a = vector_of(size, 1);
+        let b = vector_of(size, 2);
+        group.bench_with_input(BenchmarkId::new("merge", size), &size, |bencher, _| {
+            bencher.iter(|| a.merged_with(&b));
+        });
+        // The in-place path the engine hits: same key set, newer stamps —
+        // no reallocation, a two-pointer walk over the sorted entries.
+        group.bench_with_input(
+            BenchmarkId::new("merge_in_place", size),
+            &size,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let mut target = a.clone();
+                    target.merge(&b);
+                    target
+                });
+            },
+        );
+        // Disjoint key sets: the rebuild path (one exact-size allocation).
+        let disjoint: DependencyVector = (0..size)
             .map(|i| {
                 (
-                    VertexId::object(i as u32, 1),
+                    VertexId::object(1000 + i as u32, 1),
                     Timestamp::created(i as u64 + 1),
                 )
             })
             .collect();
-        let b: DependencyVector = (0..size)
-            .map(|i| {
-                (
-                    VertexId::object(i as u32, 1),
-                    Timestamp::created(i as u64 + 2),
-                )
-            })
-            .collect();
-        group.bench_with_input(BenchmarkId::new("merge", size), &size, |bencher, _| {
-            bencher.iter(|| a.merged_with(&b));
+        group.bench_with_input(
+            BenchmarkId::new("merge_disjoint", size),
+            &size,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let mut target = a.clone();
+                    target.merge(&disjoint);
+                    target
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dominates", size), &size, |bencher, _| {
+            bencher.iter(|| b.dominates(&a));
         });
+        group.bench_with_input(
+            BenchmarkId::new("causal_order", size),
+            &size,
+            |bencher, _| {
+                bencher.iter(|| a.causal_order(&b));
+            },
+        );
     }
+    // The engine's commonest vectors fit the inline buffer: no allocation
+    // at all for construct + merge at this size.
+    group.bench_function("singleton_merge_inline", |bencher| {
+        let single = DependencyVector::singleton(VertexId::object(1, 1), Timestamp::created(3));
+        bencher.iter(|| {
+            let mut v = DependencyVector::singleton(VertexId::object(2, 1), Timestamp::created(1));
+            v.merge(&single);
+            v
+        });
+    });
     group.finish();
 }
 

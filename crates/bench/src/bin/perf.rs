@@ -1,0 +1,159 @@
+//! The wall-clock perf suite (see EXPERIMENTS.md, "Perf suite").
+//!
+//! ```sh
+//! cargo run --release -p ggd-bench --bin perf                 # full matrix -> BENCH_perf.json
+//! cargo run --release -p ggd-bench --bin perf -- --smoke      # reduced CI matrix
+//! cargo run --release -p ggd-bench --bin perf -- --smoke --check BENCH_perf.json
+//! cargo run --release -p ggd-bench --bin perf -- --no-compare # skip the full-rescan baseline
+//! ```
+//!
+//! `--check FILE` parses FILE against the `ggd-bench-perf/v1` schema and
+//! fails (exit 1) when any fresh row is more than 2x slower than the
+//! committed row of the same `(name, transport, mode)` — the CI
+//! regression gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ggd_bench::perf::{
+    check_regression, check_speedup, perf_json, perf_matrix, run_matrix, validate_perf_json,
+};
+
+/// A [`System`]-backed allocator that counts allocations and bytes, so the
+/// perf rows can report allocation pressure alongside wall clock. The
+/// counters are monotone; phases measure by differencing.
+struct CountingAllocator {
+    allocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+// `GlobalAlloc` is an unsafe trait; this is the one sanctioned exception to
+// the workspace-wide `unsafe_code` ban (see crates/bench/Cargo.toml). The
+// implementation only forwards to `System` and bumps two atomics.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator {
+    allocations: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
+};
+
+fn alloc_stats() -> (u64, u64) {
+    (
+        ALLOCATOR.allocations.load(Ordering::Relaxed),
+        ALLOCATOR.bytes.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let compare = !args.iter().any(|a| a == "--no-compare");
+    let check: Option<&str> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let out_path = if smoke {
+        "BENCH_perf_smoke.json"
+    } else {
+        "BENCH_perf.json"
+    };
+
+    let cases = perf_matrix(smoke);
+    eprintln!(
+        "perf suite: {} case(s), compare={compare}, smoke={smoke}",
+        cases.len()
+    );
+    let entries = run_matrix(&cases, compare, &alloc_stats, |entry| {
+        eprintln!(
+            "  {:<24} {:<9} {:<6} run={:>9.1}ms ops/s={:>10.0} control={:>8} peak_queued={:>9}B allocs={}",
+            entry.name,
+            entry.transport,
+            entry.mode,
+            entry.run_ms,
+            entry.ops_per_sec,
+            entry.control_msgs,
+            entry.peak_queued_bytes,
+            entry.allocations,
+        );
+    });
+
+    for entry in &entries {
+        if let Some(speedup) = entry.speedup_vs_full {
+            eprintln!(
+                "  {:<24} {:<9} delta pipeline speedup vs full rescan: {speedup:.2}x",
+                entry.name, entry.transport
+            );
+        }
+    }
+
+    let document = perf_json(&entries);
+    validate_perf_json(&document).expect("freshly emitted document must be schema-valid");
+    match std::fs::write(out_path, &document) {
+        Ok(()) => eprintln!("wrote {} entries to {out_path}", entries.len()),
+        Err(err) => {
+            eprintln!("could not write {out_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(committed_path) = check {
+        let committed = match std::fs::read_to_string(committed_path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("could not read {committed_path}: {err}");
+                std::process::exit(1);
+            }
+        };
+        let committed = match validate_perf_json(&committed) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("{committed_path} failed schema validation: {err}");
+                std::process::exit(1);
+            }
+        };
+        // 2x wall-clock tolerance, ignoring committed rows under 50ms:
+        // CI hardware differs from the machine the baseline was committed
+        // on, and tens-of-milliseconds rows are pure scheduling noise.
+        match check_regression(&committed, &entries, 2.0, 50.0) {
+            Ok(()) => eprintln!("regression check against {committed_path}: ok"),
+            Err(err) => {
+                eprintln!("PERF REGRESSION vs {committed_path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        // The machine-independent gate: the delta pipeline must keep a
+        // healthy lead over the full-rescan pipeline *on this machine*.
+        if compare {
+            match check_speedup(&entries, 1.5) {
+                Ok(()) => eprintln!("delta-vs-full speedup check: ok"),
+                Err(err) => {
+                    eprintln!("PERF REGRESSION (speedup): {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

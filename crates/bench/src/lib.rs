@@ -4,6 +4,11 @@
 //! Each `run_*` function returns printable rows so that the same code backs
 //! the `harness` binary, the Criterion benchmarks and the integration tests.
 
+pub mod json;
+pub mod perf;
+
+use std::fmt::Write as _;
+
 use ggd_mutator::{workloads, Scenario};
 use ggd_net::FaultPlan;
 use ggd_sim::{
@@ -43,22 +48,24 @@ impl Row {
     }
 }
 
-/// Renders rows as an aligned text table.
+/// Renders rows as an aligned text table. Cells are written straight into
+/// one output buffer with `write!` — no per-cell `String` allocations.
 pub fn render(title: &str, rows: &[Row]) -> String {
-    let mut out = format!("## {title}\n");
+    let mut out = String::with_capacity(64 + rows.len() * 128);
+    let _ = writeln!(out, "## {title}");
     if rows.is_empty() {
         out.push_str("(no rows)\n");
         return out;
     }
-    out.push_str(&format!("{:<14} {:<12}", "x", "collector"));
+    let _ = write!(out, "{:<14} {:<12}", "x", "collector");
     for (name, _) in &rows[0].values {
-        out.push_str(&format!(" {name:>13}"));
+        let _ = write!(out, " {name:>13}");
     }
     out.push('\n');
     for row in rows {
-        out.push_str(&format!("{:<14} {:<12}", row.x, row.collector));
+        let _ = write!(out, "{:<14} {:<12}", row.x, row.collector);
         for (_, value) in &row.values {
-            out.push_str(&format!(" {value:>13.1}"));
+            let _ = write!(out, " {value:>13.1}");
         }
         out.push('\n');
     }
@@ -323,14 +330,11 @@ pub fn baseline() -> Vec<BaselineEntry> {
 pub fn baseline_json(entries: &[BaselineEntry]) -> String {
     let mut out = String::from("{\n  \"schema\": \"ggd-bench-baseline/v1\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
-        let latency = match e.detection_latency {
-            Some(l) => l.to_string(),
-            None => "null".to_owned(),
-        };
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "    {{\"scenario\": \"{}\", \"collector\": \"{}\", \"control_msgs\": {}, \
              \"mutator_msgs\": {}, \"reclaimed\": {}, \"residual\": {}, \"violations\": {}, \
-             \"detection_latency\": {}}}{}\n",
+             \"detection_latency\": ",
             e.scenario,
             e.collector,
             e.control_msgs,
@@ -338,9 +342,14 @@ pub fn baseline_json(entries: &[BaselineEntry]) -> String {
             e.reclaimed,
             e.residual,
             e.violations,
-            latency,
-            if i + 1 < entries.len() { "," } else { "" },
-        ));
+        );
+        match e.detection_latency {
+            Some(latency) => {
+                let _ = write!(out, "{latency}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = writeln!(out, "}}{}", if i + 1 < entries.len() { "," } else { "" });
     }
     out.push_str("  ]\n}\n");
     out

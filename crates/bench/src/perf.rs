@@ -1,0 +1,540 @@
+//! The wall-clock performance suite (`cargo run --release -p ggd-bench
+//! --bin perf`).
+//!
+//! Scales the generator to production-sized scenarios (64–256 sites,
+//! 10k–100k objects, churn + island + hub mixes), runs them on both the
+//! deterministic [`SimNetwork`](ggd_net::SimNetwork) and the OS-thread
+//! [`ThreadedNetwork`](ggd_net::ThreadedNetwork), and reports ops/sec,
+//! per-phase wall clock, peak queued bytes and allocation counts as
+//! `BENCH_perf.json` — the perf trajectory future PRs must beat. Each
+//! scenario runs under the incremental delta pipeline and, in comparison
+//! mode, under the retained full-rescan pipeline, so the speedup is
+//! measured, not asserted. See EXPERIMENTS.md ("Perf suite").
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ggd_mutator::generator::{build_perf_scenario, PerfSpec};
+use ggd_mutator::{Scenario, Step};
+use ggd_sim::{CausalCollector, Cluster, ClusterConfig, RunReport, SyncMode};
+
+use crate::json::{self, JsonValue};
+
+/// One scenario of the perf matrix.
+#[derive(Debug, Clone)]
+pub struct PerfCase {
+    /// Stable row name, e.g. `"churn_100k"`.
+    pub name: &'static str,
+    /// Generator parameters.
+    pub spec: PerfSpec,
+    /// Generator seed.
+    pub seed: u64,
+    /// Also run on the threaded transport (sim always runs).
+    pub threaded: bool,
+    /// Also run the retained full-rescan pipeline for a measured speedup
+    /// (skipped matrix-wide by `--no-compare`).
+    pub compare: bool,
+}
+
+/// The scenario matrix. `smoke` selects the reduced CI matrix (16 sites /
+/// 2k objects); the full matrix is what `BENCH_perf.json` commits and
+/// *includes* the smoke case, so the CI job always has committed rows to
+/// regress against.
+pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
+    let smoke_case = PerfCase {
+        name: "smoke_churn_2k",
+        spec: PerfSpec::mix(16, 2_000, 1_000),
+        seed: 7,
+        threaded: true,
+        compare: true,
+    };
+    if smoke {
+        return vec![smoke_case];
+    }
+    vec![
+        smoke_case,
+        PerfCase {
+            name: "churn_10k",
+            spec: PerfSpec::mix(64, 10_000, 6_000),
+            seed: 7,
+            threaded: true,
+            compare: true,
+        },
+        PerfCase {
+            name: "island_hub_mix_20k",
+            spec: PerfSpec {
+                islands: 16,
+                island_span: 4,
+                hubs: 8,
+                hub_spokes: 6,
+                ..PerfSpec::mix(64, 20_000, 6_000)
+            },
+            seed: 11,
+            threaded: true,
+            compare: true,
+        },
+        PerfCase {
+            name: "wide_256_sites_50k",
+            spec: PerfSpec::mix(256, 50_000, 10_000),
+            seed: 13,
+            threaded: false,
+            compare: true,
+        },
+        PerfCase {
+            name: "churn_100k",
+            spec: PerfSpec::mix(64, 100_000, 20_000),
+            seed: 17,
+            threaded: false,
+            compare: true,
+        },
+    ]
+}
+
+/// One measured row of `BENCH_perf.json`.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Scenario name.
+    pub name: String,
+    /// Transport the row ran on (`"sim"` or `"threaded"`).
+    pub transport: String,
+    /// Snapshot pipeline (`"delta"` or `"full"`).
+    pub mode: String,
+    /// Sites in the cluster.
+    pub sites: u32,
+    /// Pre-populated objects.
+    pub objects: u32,
+    /// Mutator-op steps executed.
+    pub ops: u64,
+    /// Scenario construction time.
+    pub build_ms: f64,
+    /// Cluster run time (the measured phase).
+    pub run_ms: f64,
+    /// Mutator throughput over the run phase.
+    pub ops_per_sec: f64,
+    /// Control messages sent.
+    pub control_msgs: u64,
+    /// Mutator messages sent.
+    pub mutator_msgs: u64,
+    /// High-water mark of queued payload bytes.
+    pub peak_queued_bytes: u64,
+    /// Heap allocations during the run phase (counting allocator).
+    pub allocations: u64,
+    /// Bytes allocated during the run phase.
+    pub alloc_bytes: u64,
+    /// Objects reclaimed.
+    pub reclaimed: u64,
+    /// Residual garbage at quiescence.
+    pub residual: u64,
+    /// GGD verdicts applied.
+    pub verdicts: u64,
+    /// `full.run_ms / delta.run_ms`, set on delta rows of compared cases.
+    pub speedup_vs_full: Option<f64>,
+}
+
+/// Counting-allocator probe: returns cumulative `(allocations, bytes)`.
+/// The perf binary installs the global allocator and passes its counters;
+/// the library stays allocator-agnostic (tests pass a constant probe).
+pub type AllocProbe<'a> = &'a dyn Fn() -> (u64, u64);
+
+fn op_count(scenario: &Scenario) -> u64 {
+    scenario
+        .steps()
+        .iter()
+        .filter(|s| matches!(s, Step::Op(_)))
+        .count() as u64
+}
+
+fn perf_config(mode: SyncMode) -> ClusterConfig {
+    ClusterConfig {
+        sync_mode: mode,
+        // The oracle's global reachability pass costs O(cluster) per local
+        // collection — it would dominate the measurement in both modes.
+        safety_oracle: false,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Per-phase measurements of one run, grouped for [`entry_from`].
+struct Measured {
+    ops: u64,
+    build_ms: f64,
+    run_ms: f64,
+    allocations: u64,
+    alloc_bytes: u64,
+}
+
+fn entry_from(
+    case: &PerfCase,
+    transport: &str,
+    mode: &str,
+    measured: Measured,
+    report: &RunReport,
+) -> PerfEntry {
+    PerfEntry {
+        name: case.name.to_owned(),
+        transport: transport.to_owned(),
+        mode: mode.to_owned(),
+        sites: case.spec.sites,
+        objects: case.spec.objects,
+        ops: measured.ops,
+        build_ms: measured.build_ms,
+        run_ms: measured.run_ms,
+        ops_per_sec: if measured.run_ms > 0.0 {
+            measured.ops as f64 / (measured.run_ms / 1000.0)
+        } else {
+            0.0
+        },
+        control_msgs: report.control_messages(),
+        mutator_msgs: report.mutator_messages(),
+        peak_queued_bytes: report.net.peak_queued_bytes(),
+        allocations: measured.allocations,
+        alloc_bytes: measured.alloc_bytes,
+        reclaimed: report.reclaimed,
+        residual: report.residual_garbage,
+        verdicts: report.verdicts,
+        speedup_vs_full: None,
+    }
+}
+
+/// Runs one case on the simulated transport under `mode`.
+fn run_sim(
+    case: &PerfCase,
+    scenario: &Scenario,
+    build_ms: f64,
+    mode: SyncMode,
+    probe: AllocProbe<'_>,
+) -> PerfEntry {
+    let ops = op_count(scenario);
+    let (alloc_before, bytes_before) = probe();
+    let start = Instant::now();
+    let mut cluster = Cluster::from_scenario(scenario, perf_config(mode), CausalCollector::new);
+    let report = cluster.run(scenario);
+    let run_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let (alloc_after, bytes_after) = probe();
+    let label = match mode {
+        SyncMode::Incremental => "delta",
+        SyncMode::FullRescan => "full",
+    };
+    entry_from(
+        case,
+        "sim",
+        label,
+        Measured {
+            ops,
+            build_ms,
+            run_ms,
+            allocations: alloc_after.saturating_sub(alloc_before),
+            alloc_bytes: bytes_after.saturating_sub(bytes_before),
+        },
+        &report,
+    )
+}
+
+/// Runs one case on the threaded transport (delta pipeline).
+fn run_threaded(
+    case: &PerfCase,
+    scenario: &Scenario,
+    build_ms: f64,
+    probe: AllocProbe<'_>,
+) -> PerfEntry {
+    let ops = op_count(scenario);
+    let (alloc_before, bytes_before) = probe();
+    let start = Instant::now();
+    let mut cluster = Cluster::threaded_from_scenario(
+        scenario,
+        perf_config(SyncMode::Incremental),
+        CausalCollector::new,
+    );
+    let report = cluster.run(scenario);
+    let run_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let (alloc_after, bytes_after) = probe();
+    entry_from(
+        case,
+        "threaded",
+        "delta",
+        Measured {
+            ops,
+            build_ms,
+            run_ms,
+            allocations: alloc_after.saturating_sub(alloc_before),
+            alloc_bytes: bytes_after.saturating_sub(bytes_before),
+        },
+        &report,
+    )
+}
+
+/// Runs the whole matrix. With `compare`, each sim case additionally runs
+/// the retained full-rescan pipeline and the delta row carries the measured
+/// speedup. `progress` receives one line per finished row.
+pub fn run_matrix(
+    cases: &[PerfCase],
+    compare: bool,
+    probe: AllocProbe<'_>,
+    mut progress: impl FnMut(&PerfEntry),
+) -> Vec<PerfEntry> {
+    let mut entries = Vec::new();
+    for case in cases {
+        let start = Instant::now();
+        let scenario = build_perf_scenario(&case.spec, case.seed);
+        let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let mut delta = run_sim(case, &scenario, build_ms, SyncMode::Incremental, probe);
+        if compare && case.compare {
+            let full = run_sim(case, &scenario, build_ms, SyncMode::FullRescan, probe);
+            if delta.run_ms > 0.0 {
+                delta.speedup_vs_full = Some(full.run_ms / delta.run_ms);
+            }
+            progress(&full);
+            entries.push(full);
+        }
+        progress(&delta);
+        entries.push(delta);
+
+        if case.threaded {
+            let threaded = run_threaded(case, &scenario, build_ms, probe);
+            progress(&threaded);
+            entries.push(threaded);
+        }
+    }
+    entries
+}
+
+/// The `BENCH_perf.json` schema identifier.
+pub const PERF_SCHEMA: &str = "ggd-bench-perf/v1";
+
+/// Renders entries as the `BENCH_perf.json` document.
+pub fn perf_json(entries: &[PerfEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ggd-bench-perf/v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = match e.speedup_vs_full {
+            Some(s) => format!("{s:.2}"),
+            None => "null".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"mode\": \"{}\", \"sites\": {}, \
+             \"objects\": {}, \"ops\": {}, \"build_ms\": {:.1}, \"run_ms\": {:.1}, \
+             \"ops_per_sec\": {:.0}, \"control_msgs\": {}, \"mutator_msgs\": {}, \
+             \"peak_queued_bytes\": {}, \"allocations\": {}, \"alloc_bytes\": {}, \
+             \"reclaimed\": {}, \"residual\": {}, \"verdicts\": {}, \"speedup_vs_full\": {}}}{}",
+            e.name,
+            e.transport,
+            e.mode,
+            e.sites,
+            e.objects,
+            e.ops,
+            e.build_ms,
+            e.run_ms,
+            e.ops_per_sec,
+            e.control_msgs,
+            e.mutator_msgs,
+            e.peak_queued_bytes,
+            e.allocations,
+            e.alloc_bytes,
+            e.reclaimed,
+            e.residual,
+            e.verdicts,
+            speedup,
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Fields every `BENCH_perf.json` entry must carry, with numeric type.
+const REQUIRED_NUMBERS: &[&str] = &[
+    "sites",
+    "objects",
+    "ops",
+    "build_ms",
+    "run_ms",
+    "ops_per_sec",
+    "control_msgs",
+    "mutator_msgs",
+    "peak_queued_bytes",
+    "allocations",
+    "alloc_bytes",
+    "reclaimed",
+    "residual",
+    "verdicts",
+];
+
+/// Parses and schema-checks a `BENCH_perf.json` document.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn validate_perf_json(text: &str) -> Result<JsonValue, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(PERF_SCHEMA) {
+        return Err(format!("schema field must be \"{PERF_SCHEMA}\""));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("entries must be an array")?;
+    if entries.is_empty() {
+        return Err("entries must not be empty".to_owned());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        for key in ["name", "transport", "mode"] {
+            if entry.get(key).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("entry #{i}: missing string field \"{key}\""));
+            }
+        }
+        for key in REQUIRED_NUMBERS {
+            if entry.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("entry #{i}: missing numeric field \"{key}\""));
+            }
+        }
+        match entry.get("speedup_vs_full") {
+            Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+            _ => {
+                return Err(format!(
+                    "entry #{i}: speedup_vs_full must be number or null"
+                ))
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Compares a fresh smoke run against the committed `BENCH_perf.json`:
+/// every fresh row whose `(name, transport, mode)` also appears in the
+/// committed document must not be more than `factor`× slower. Rows faster
+/// than `floor_ms` in the committed file are exempt (pure noise).
+///
+/// # Errors
+///
+/// Returns a description of the first regression (or bookkeeping problem).
+pub fn check_regression(
+    committed: &JsonValue,
+    fresh: &[PerfEntry],
+    factor: f64,
+    floor_ms: f64,
+) -> Result<(), String> {
+    let entries = committed
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("committed file has no entries")?;
+    let mut compared = 0;
+    for row in fresh {
+        let baseline = entries.iter().find(|e| {
+            e.get("name").and_then(JsonValue::as_str) == Some(row.name.as_str())
+                && e.get("transport").and_then(JsonValue::as_str) == Some(row.transport.as_str())
+                && e.get("mode").and_then(JsonValue::as_str) == Some(row.mode.as_str())
+        });
+        let Some(baseline) = baseline else {
+            continue; // new row: nothing to regress against
+        };
+        let committed_ms = baseline
+            .get("run_ms")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{}: committed row has no run_ms", row.name))?;
+        compared += 1;
+        if committed_ms < floor_ms {
+            continue;
+        }
+        if row.run_ms > committed_ms * factor {
+            return Err(format!(
+                "{}/{}/{}: run_ms {:.1} exceeds {factor}x the committed {:.1}",
+                row.name, row.transport, row.mode, row.run_ms, committed_ms
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no fresh row matched any committed row".to_owned());
+    }
+    Ok(())
+}
+
+/// Verifies that every compared delta row retained at least `min` speedup
+/// over its same-machine full-rescan run. Unlike the absolute wall-clock
+/// gate this ratio is machine-independent, so it catches "the delta
+/// pipeline lost its advantage" regressions even on CI hardware whose
+/// absolute numbers differ wildly from the committed baseline's.
+///
+/// # Errors
+///
+/// Returns a description of the first row below `min`, or of a run with
+/// no compared rows at all.
+pub fn check_speedup(entries: &[PerfEntry], min: f64) -> Result<(), String> {
+    let mut checked = 0;
+    for entry in entries {
+        if let Some(speedup) = entry.speedup_vs_full {
+            checked += 1;
+            if speedup < min {
+                return Err(format!(
+                    "{}/{}: delta speedup vs full rescan is {speedup:.2}x, below the {min}x gate",
+                    entry.name, entry.transport
+                ));
+            }
+        }
+    }
+    if checked == 0 {
+        return Err("no row carried a speedup (run with compare enabled)".to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> (u64, u64) {
+        (0, 0)
+    }
+
+    #[test]
+    fn smoke_matrix_runs_and_round_trips() {
+        let cases = perf_matrix(true);
+        // Tests run unoptimized: shrink the smoke case further.
+        let cases: Vec<PerfCase> = cases
+            .into_iter()
+            .map(|mut c| {
+                c.spec = PerfSpec::mix(8, 400, 200);
+                c.threaded = false;
+                c
+            })
+            .collect();
+        let entries = run_matrix(&cases, true, &probe, |_| {});
+        assert_eq!(entries.len(), 2, "full + delta row");
+        let delta = entries.iter().find(|e| e.mode == "delta").unwrap();
+        let full = entries.iter().find(|e| e.mode == "full").unwrap();
+        assert!(delta.speedup_vs_full.is_some());
+        assert_eq!(delta.ops, full.ops);
+        assert_eq!(
+            delta.control_msgs, full.control_msgs,
+            "pipelines must emit identical control traffic"
+        );
+        assert_eq!(delta.verdicts, full.verdicts);
+
+        let text = perf_json(&entries);
+        let doc = validate_perf_json(&text).expect("schema-valid");
+        check_regression(&doc, &entries, 2.0, 0.0).expect("identical rows cannot regress");
+        check_speedup(&entries, 0.01).expect("compared rows carry a speedup");
+        assert!(
+            check_speedup(&entries, 1e9).is_err(),
+            "absurd gate must trip"
+        );
+        assert!(
+            check_speedup(&[], 1.0).is_err(),
+            "no compared rows is an error"
+        );
+
+        let mut slow = entries.clone();
+        slow[0].run_ms = slow[0].run_ms * 100.0 + 1000.0;
+        assert!(check_regression(&doc, &slow, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(validate_perf_json("{}").is_err());
+        assert!(
+            validate_perf_json("{\"schema\": \"ggd-bench-perf/v1\", \"entries\": []}").is_err()
+        );
+        let missing = "{\"schema\": \"ggd-bench-perf/v1\", \"entries\": [{\"name\": \"x\"}]}";
+        assert!(validate_perf_json(missing).is_err());
+    }
+}

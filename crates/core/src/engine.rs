@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use ggd_heap::ReachabilitySnapshot;
+use ggd_heap::{EdgeDelta, ReachabilitySnapshot};
 use ggd_types::{DependencyVector, GlobalAddr, SiteId, Timestamp, VertexId};
 
 use crate::log::{DkLog, RootedVector};
@@ -70,6 +70,10 @@ pub struct CausalEngine {
     log: DkLog,
     last_closure: BTreeMap<VertexId, DependencyVector>,
     edges_out: BTreeMap<VertexId, BTreeSet<GlobalAddr>>,
+    /// Per-target count of local vertices holding an edge to it — the
+    /// O(1) answer to "does this site still reach `target`?" on the delta
+    /// path. Kept in lockstep with `edges_out`.
+    edge_refcounts: BTreeMap<GlobalAddr, u32>,
     locally_rooted: BTreeSet<VertexId>,
     inbound_holders: BTreeMap<GlobalAddr, BTreeSet<VertexId>>,
     static_roots: BTreeSet<VertexId>,
@@ -88,6 +92,7 @@ impl CausalEngine {
             log: DkLog::new(),
             last_closure: BTreeMap::new(),
             edges_out: BTreeMap::new(),
+            edge_refcounts: BTreeMap::new(),
             locally_rooted: BTreeSet::new(),
             inbound_holders: BTreeMap::new(),
             static_roots: BTreeSet::new(),
@@ -293,19 +298,135 @@ impl CausalEngine {
                     .vector
                     .set(vertex, Timestamp::destroyed(n));
                 self.stats.edge_destructions += 1;
-                self.mark_lost_holders(target, &new_edges);
+                let still_reached = new_edges.values().any(|targets| targets.contains(&target));
+                self.mark_lost_holders(target, still_reached);
                 self.queue_destruction(vertex, target);
             }
         }
         self.edges_out = new_edges;
         self.edges_out.retain(|_, targets| !targets.is_empty());
+        self.rebuild_edge_refcounts();
 
         // 3. Vertices whose local-rootedness changed announce their fresh
         // status along their out-going edges: losing it lazily restores
         // comprehensiveness, gaining it promptly preserves safety.
         for vertex in rootedness_changed {
-            self.last_closure.insert(vertex, self.log.closure(vertex));
-            self.propagate(vertex);
+            let closure = self.log.closure(vertex);
+            self.propagate_with(vertex, &closure);
+            self.last_closure.insert(vertex, closure);
+        }
+    }
+
+    /// Applies an incremental snapshot delta: the same log-keeping events
+    /// [`CausalEngine::apply_snapshot`] derives by re-diffing full edge
+    /// sets, but in O(delta) — no edge-map clones, no full-set
+    /// differences. The event order (rootedness transitions, then
+    /// per-vertex creations before destructions in vertex order, then
+    /// rootedness propagation) matches the rescan path exactly, so both
+    /// pipelines emit bit-identical control-message streams; the
+    /// differential equivalence tests in `ggd-explore` pin that.
+    pub fn apply_delta(&mut self, delta: &EdgeDelta) {
+        debug_assert_eq!(delta.site(), self.site, "delta must be local");
+
+        // 0. Vertices that left the graph stop being locally rooted without
+        // a transition event, mirroring how the rescan path rebuilds its
+        // rooted set from a snapshot that no longer mentions them.
+        for &id in &delta.removed {
+            self.locally_rooted
+                .remove(&VertexId::Object(GlobalAddr::from_parts(self.site, id)));
+        }
+
+        // 1. Local-rootedness transitions of current global roots.
+        let mut rootedness_changed = Vec::new();
+        for &(id, is) in &delta.rootedness {
+            let vertex = VertexId::Object(GlobalAddr::from_parts(self.site, id));
+            let was = self.locally_rooted.contains(&vertex);
+            if was != is {
+                let n = self.bump(vertex);
+                self.log.stamp_root(vertex, n, is);
+                rootedness_changed.push(vertex);
+                if is {
+                    self.locally_rooted.insert(vertex);
+                } else {
+                    self.locally_rooted.remove(&vertex);
+                }
+            }
+        }
+
+        // 2. Edge events. `edges_out` is brought to its final state first,
+        // so the lost-holder check ("does any local vertex still reach the
+        // target *after* this change?") sees the same post-state the rescan
+        // path's freshly built edge map provides. Only changes that
+        // actually alter `edges_out` become events: the rescan path diffs
+        // against the engine's *own* edge map, which differs from the
+        // heap's cache exactly when garbage finalisation already destroyed
+        // a detected vertex's edges ahead of the heap — replaying those
+        // would duplicate the finalisation messages.
+        let mut events: Vec<(VertexId, Vec<GlobalAddr>, Vec<GlobalAddr>)> =
+            Vec::with_capacity(delta.edges.len());
+        for part in &delta.edges {
+            let targets = self.edges_out.entry(part.vertex).or_default();
+            let created: Vec<GlobalAddr> = part
+                .created
+                .iter()
+                .copied()
+                .filter(|&target| targets.insert(target))
+                .collect();
+            let destroyed: Vec<GlobalAddr> = part
+                .destroyed
+                .iter()
+                .copied()
+                .filter(|target| targets.remove(target))
+                .collect();
+            let now_empty = targets.is_empty();
+            if now_empty {
+                self.edges_out.remove(&part.vertex);
+            }
+            for &target in &created {
+                *self.edge_refcounts.entry(target).or_insert(0) += 1;
+            }
+            for target in &destroyed {
+                self.drop_edge_refcount(*target);
+            }
+            if !created.is_empty() || !destroyed.is_empty() {
+                events.push((part.vertex, created, destroyed));
+            }
+        }
+        for (vertex, created, destroyed) in events {
+            for target in created {
+                let n = self.bump(vertex);
+                self.log
+                    .row_mut(VertexId::Object(target))
+                    .vector
+                    .merge_entry(vertex, Timestamp::created(n));
+                self.stats.edge_creations += 1;
+                if vertex.is_site_root() || self.locally_rooted.contains(&vertex) {
+                    self.queue_root_announcement(vertex, target, n);
+                }
+            }
+            for target in destroyed {
+                let n = self.bump(vertex);
+                self.log
+                    .row_mut(VertexId::Object(target))
+                    .vector
+                    .set(vertex, Timestamp::destroyed(n));
+                self.stats.edge_destructions += 1;
+                let still_reached = self.edge_refcounts.contains_key(&target);
+                debug_assert_eq!(
+                    still_reached,
+                    self.edges_out.values().any(|t| t.contains(&target)),
+                    "edge refcounts diverged from edges_out"
+                );
+                self.mark_lost_holders(target, still_reached);
+                self.queue_destruction(vertex, target);
+            }
+        }
+
+        // 3. Fresh rootedness propagates along the (final) out-edges.
+        for vertex in rootedness_changed {
+            let closure = self.log.closure(vertex);
+            self.propagate_with(vertex, &closure);
+            self.last_closure.insert(vertex, closure);
         }
     }
 
@@ -343,11 +464,11 @@ impl CausalEngine {
         }
 
         let closure = self.log.closure(to);
-        if self.last_closure.get(&to) != Some(&closure) {
+        let closure_improved = self.last_closure.get(&to) != Some(&closure);
+        if closure_improved {
             // New knowledge: circulate the improved approximation of the
             // vector-time along the out-going edges (step 3, §3.3).
-            self.last_closure.insert(to, closure.clone());
-            self.propagate(to);
+            self.propagate_with(to, &closure);
         }
         // Evaluate the garbage test on every receipt. The paper gates it on
         // a no-change receipt as a convergence proxy; here the explicit
@@ -355,6 +476,11 @@ impl CausalEngine {
         // DESIGN.md) make the test safe to run eagerly, which removes the
         // dependence on a further message arriving.
         self.maybe_declare_garbage(to, &closure);
+        if closure_improved {
+            // Remember the circulated closure — by move, not clone; the
+            // next receipt compares against it.
+            self.last_closure.insert(to, closure);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -362,16 +488,12 @@ impl CausalEngine {
     // ------------------------------------------------------------------
 
     /// When this site as a whole no longer reaches `target` from any of its
-    /// vertices, the placeholder entries recorded for the local objects that
-    /// once held the reference are marked destroyed so that the bundled
-    /// edge-destruction message supersedes the matching placeholders held at
-    /// the target's site.
-    fn mark_lost_holders(
-        &mut self,
-        target: GlobalAddr,
-        new_edges: &BTreeMap<VertexId, BTreeSet<GlobalAddr>>,
-    ) {
-        let still_reached = new_edges.values().any(|targets| targets.contains(&target));
+    /// vertices (`still_reached` is the caller's post-state answer), the
+    /// placeholder entries recorded for the local objects that once held the
+    /// reference are marked destroyed so that the bundled edge-destruction
+    /// message supersedes the matching placeholders held at the target's
+    /// site.
+    fn mark_lost_holders(&mut self, target: GlobalAddr, still_reached: bool) {
         if still_reached {
             return;
         }
@@ -382,6 +504,26 @@ impl CausalEngine {
                     .row_mut(VertexId::Object(target))
                     .vector
                     .set(holder, Timestamp::destroyed(index));
+            }
+        }
+    }
+
+    /// Recomputes `edge_refcounts` from `edges_out` — used by the rescan
+    /// path, which replaces the edge map wholesale.
+    fn rebuild_edge_refcounts(&mut self) {
+        self.edge_refcounts.clear();
+        for targets in self.edges_out.values() {
+            for &target in targets {
+                *self.edge_refcounts.entry(target).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn drop_edge_refcount(&mut self, target: GlobalAddr) {
+        if let Some(count) = self.edge_refcounts.get_mut(&target) {
+            *count -= 1;
+            if *count == 0 {
+                self.edge_refcounts.remove(&target);
             }
         }
     }
@@ -438,18 +580,17 @@ impl CausalEngine {
         });
     }
 
-    fn propagate(&mut self, vertex: VertexId) {
-        let Some(targets) = self.edges_out.get(&vertex).cloned() else {
+    /// Circulates `closure` (the vertex's freshly reconstructed vector-time)
+    /// along the vertex's out-going edges. The caller supplies the closure
+    /// so that neither it nor the target set has to be cloned on the hot
+    /// path.
+    fn propagate_with(&mut self, vertex: VertexId, closure: &DependencyVector) {
+        let Some(targets) = self.edges_out.get(&vertex) else {
             return;
         };
         if targets.is_empty() {
             return;
         }
-        let closure = self
-            .last_closure
-            .get(&vertex)
-            .cloned()
-            .unwrap_or_else(|| self.log.closure(vertex));
         // The propagated vector carries the live transitive closure *plus*
         // the destroyed entries of the vertex's own row: receivers merge
         // monotonically (for idempotence), so destruction news must travel
@@ -460,8 +601,8 @@ impl CausalEngine {
             .row(vertex)
             .map(|row| row.vector.clone())
             .unwrap_or_default();
-        knowledge.merge(&closure);
-        for target in targets {
+        knowledge.merge(closure);
+        for &target in targets {
             let payload = self.outgoing_payload(knowledge.clone());
             self.stats.propagations_sent += 1;
             self.outgoing.push(Outgoing {
@@ -506,6 +647,7 @@ impl CausalEngine {
         let n = self.bump(vertex);
         if let Some(targets) = self.edges_out.remove(&vertex) {
             for target in targets {
+                self.drop_edge_refcount(target);
                 let to = VertexId::Object(target);
                 self.log
                     .row_mut(to)

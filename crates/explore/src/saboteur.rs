@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use ggd_causal::CausalMessage;
-use ggd_heap::ReachabilitySnapshot;
+use ggd_heap::{EdgeDelta, ReachabilitySnapshot};
 use ggd_sim::{CausalCollector, Collector};
 use ggd_types::{GlobalAddr, SiteId};
 
@@ -46,6 +46,18 @@ impl SaboteurCollector {
     pub fn forged_count(&self) -> usize {
         self.forged.len()
     }
+
+    /// A global root that is not locally rooted stays alive only through
+    /// remote references — demoting it without proof is exactly the unsafe
+    /// sweep the oracle exists to catch.
+    fn observe(&mut self, snapshot: &ReachabilitySnapshot) {
+        self.snapshots_seen += 1;
+        self.candidate = snapshot
+            .global_roots()
+            .filter(|&id| !snapshot.is_locally_rooted(id))
+            .map(|id| GlobalAddr::from_parts(self.site, id))
+            .find(|addr| !self.forged.contains(addr));
+    }
 }
 
 impl Collector for SaboteurCollector {
@@ -68,16 +80,20 @@ impl Collector for SaboteurCollector {
     }
 
     fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
-        self.snapshots_seen += 1;
-        // A global root that is not locally rooted stays alive only through
-        // remote references — demoting it without proof is exactly the
-        // unsafe sweep the oracle exists to catch.
-        self.candidate = snapshot
-            .global_roots()
-            .filter(|&id| !snapshot.is_locally_rooted(id))
-            .map(|id| GlobalAddr::from_parts(self.site, id))
-            .find(|addr| !self.forged.contains(addr));
+        self.observe(snapshot);
         self.inner.apply_snapshot(snapshot);
+    }
+
+    fn apply_delta(&mut self, delta: &EdgeDelta, snapshot: &ReachabilitySnapshot) {
+        self.observe(snapshot);
+        self.inner.apply_delta(delta, snapshot);
+    }
+
+    fn needs_every_sync(&self) -> bool {
+        // Arming is keyed to the number of syncs observed; skipping
+        // empty-delta syncs would change the sabotage schedule relative to
+        // the full-rescan pipeline and upset shrink reproducibility.
+        true
     }
 
     fn on_message(&mut self, from: SiteId, message: Self::Msg) {

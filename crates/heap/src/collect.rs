@@ -89,6 +89,11 @@ impl SiteHeap {
             }
         }
 
+        // The delta tracker drops the freed objects' reverse edges while
+        // their slots are still readable. Freed objects were unreachable
+        // from every snapshot source, so no surviving vertex's reachable
+        // set changes — no dirt is recorded for survivors.
+        self.note_collected(&freed);
         for id in &freed {
             self.objects_mut().remove(id);
         }

@@ -45,4 +45,4 @@ mod snapshot;
 pub use collect::{CollectionOutcome, HeapStats};
 pub use object::{HeapObject, ObjRef};
 pub use site_heap::{HeapError, SiteHeap};
-pub use snapshot::{EdgeDiff, ReachabilitySnapshot};
+pub use snapshot::{EdgeDelta, EdgeDiff, ReachabilitySnapshot, VertexEdgeDelta};

@@ -9,6 +9,7 @@ use ggd_types::{GlobalAddr, ObjectId, SiteId};
 
 use crate::collect::HeapStats;
 use crate::object::{HeapObject, ObjRef};
+use crate::snapshot::DeltaTracker;
 
 /// Errors returned by heap mutation operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +50,7 @@ impl std::error::Error for HeapError {}
 ///   it, which is precisely the paper's point.
 ///
 /// See the crate-level documentation for a usage example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteHeap {
     site: SiteId,
     objects: BTreeMap<ObjectId, HeapObject>,
@@ -57,6 +58,22 @@ pub struct SiteHeap {
     global_roots: BTreeSet<ObjectId>,
     next_object: u64,
     stats: HeapStats,
+    /// Incremental-delta bookkeeping (see [`SiteHeap::take_delta`]); not
+    /// part of the heap's logical identity, so it is skipped by equality
+    /// and serialization and rebuilt lazily on the first delta request.
+    #[serde(skip)]
+    tracker: DeltaTracker,
+}
+
+impl PartialEq for SiteHeap {
+    fn eq(&self, other: &Self) -> bool {
+        self.site == other.site
+            && self.objects == other.objects
+            && self.local_roots == other.local_roots
+            && self.global_roots == other.global_roots
+            && self.next_object == other.next_object
+            && self.stats == other.stats
+    }
 }
 
 impl SiteHeap {
@@ -69,6 +86,7 @@ impl SiteHeap {
             global_roots: BTreeSet::new(),
             next_object: 1,
             stats: HeapStats::default(),
+            tracker: DeltaTracker::default(),
         }
     }
 
@@ -90,6 +108,9 @@ impl SiteHeap {
     pub fn alloc_local_root(&mut self) -> ObjectId {
         let id = self.alloc();
         self.local_roots.insert(id);
+        // A fresh root reaches nothing, so the tracker's locally-rooted
+        // cache extends in place — no anchor recomputation needed.
+        self.tracker.note_fresh_local_root(id);
         id
     }
 
@@ -162,14 +183,20 @@ impl SiteHeap {
     /// Returns [`HeapError::UnknownObject`] when the object does not exist.
     pub fn add_local_root(&mut self, id: ObjectId) -> Result<(), HeapError> {
         self.ensure_exists(id)?;
-        self.local_roots.insert(id);
+        if self.local_roots.insert(id) {
+            self.tracker.note_anchor_dirty();
+        }
         Ok(())
     }
 
     /// Removes an object from the local root set. The object itself is not
     /// touched; the next collection may reclaim it if nothing else keeps it.
     pub fn remove_local_root(&mut self, id: ObjectId) -> bool {
-        self.local_roots.remove(&id)
+        let removed = self.local_roots.remove(&id);
+        if removed {
+            self.tracker.note_anchor_dirty();
+        }
+        removed
     }
 
     /// True when the object is currently a designated local root.
@@ -189,7 +216,11 @@ impl SiteHeap {
     /// Returns [`HeapError::UnknownObject`] when the object does not exist.
     pub fn register_global_root(&mut self, id: ObjectId) -> Result<bool, HeapError> {
         self.ensure_exists(id)?;
-        Ok(self.global_roots.insert(id))
+        let added = self.global_roots.insert(id);
+        if added {
+            self.tracker.note_root_added(id);
+        }
+        Ok(added)
     }
 
     /// Removes an object from the global root set — the outcome of a GGD
@@ -197,7 +228,11 @@ impl SiteHeap {
     /// the next local collection through local roots; that is the expected
     /// division of labour (§2.2).
     pub fn unregister_global_root(&mut self, id: ObjectId) -> bool {
-        self.global_roots.remove(&id)
+        let removed = self.global_roots.remove(&id);
+        if removed {
+            self.tracker.note_root_removed(id);
+        }
+        removed
     }
 
     /// True when the object is currently in the global root set.
@@ -224,6 +259,7 @@ impl SiteHeap {
             .get_mut(&from)
             .ok_or(HeapError::UnknownObject(from))?;
         obj.push_ref(to);
+        self.tracker.note_ref_added(from, to);
         Ok(())
     }
 
@@ -239,7 +275,11 @@ impl SiteHeap {
             .objects
             .get_mut(&from)
             .ok_or(HeapError::UnknownObject(from))?;
-        Ok(obj.remove_ref(to))
+        let removed = obj.remove_ref(to);
+        if removed {
+            self.tracker.note_ref_removed(from, to);
+        }
+        Ok(removed)
     }
 
     /// Clears every reference held by `from`.
@@ -252,6 +292,11 @@ impl SiteHeap {
             .objects
             .get_mut(&from)
             .ok_or(HeapError::UnknownObject(from))?;
+        if self.tracker.is_active() {
+            for &slot in obj.slots() {
+                self.tracker.note_ref_removed(from, slot);
+            }
+        }
         obj.clear_refs();
         Ok(())
     }
@@ -333,6 +378,59 @@ impl SiteHeap {
             .collect()
     }
 
+    /// Computes, in one traversal, the objects reachable from the seeds and
+    /// the remote addresses they hold — the two halves of a snapshot source.
+    pub(crate) fn reach_with_remotes<I>(
+        &self,
+        seeds: I,
+    ) -> (BTreeSet<ObjectId>, BTreeSet<GlobalAddr>)
+    where
+        I: IntoIterator<Item = ObjectId>,
+    {
+        let mut visited = BTreeSet::new();
+        let mut remotes = BTreeSet::new();
+        let mut stack: Vec<ObjectId> = seeds
+            .into_iter()
+            .filter(|id| self.objects.contains_key(id))
+            .collect();
+        while let Some(id) = stack.pop() {
+            if !visited.insert(id) {
+                continue;
+            }
+            if let Some(obj) = self.objects.get(&id) {
+                for slot in obj.slots() {
+                    match *slot {
+                        ObjRef::Local(next) => {
+                            if self.objects.contains_key(&next) && !visited.contains(&next) {
+                                stack.push(next);
+                            }
+                        }
+                        ObjRef::Remote(addr) => {
+                            remotes.insert(addr);
+                        }
+                    }
+                }
+            }
+        }
+        (visited, remotes)
+    }
+
+    pub(crate) fn tracker(&self) -> &DeltaTracker {
+        &self.tracker
+    }
+
+    pub(crate) fn take_tracker(&mut self) -> DeltaTracker {
+        std::mem::take(&mut self.tracker)
+    }
+
+    pub(crate) fn put_tracker(&mut self, tracker: DeltaTracker) {
+        self.tracker = tracker;
+    }
+
+    pub(crate) fn note_collected(&mut self, freed: &BTreeSet<ObjectId>) {
+        self.tracker.note_collected(freed, &self.objects);
+    }
+
     pub(crate) fn ensure_exists(&self, id: ObjectId) -> Result<(), HeapError> {
         if self.objects.contains_key(&id) {
             Ok(())
@@ -369,9 +467,15 @@ impl SiteHeap {
     }
 
     pub(crate) fn drop_roots_of_collected(&mut self, freed: &BTreeSet<ObjectId>) {
+        // Roots are themselves part of the local-GC root set, so a correct
+        // collection never frees one; the tracker notes are defensive.
         for id in freed {
-            self.local_roots.remove(id);
-            self.global_roots.remove(id);
+            if self.local_roots.remove(id) {
+                self.tracker.note_anchor_dirty();
+            }
+            if self.global_roots.remove(id) {
+                self.tracker.note_root_removed(*id);
+            }
         }
     }
 }

@@ -9,6 +9,19 @@
 //! captures those edges at one instant; diffing two successive snapshots
 //! yields the *edge-creation* and *edge-destruction* log-keeping events that
 //! drive the GGD algorithm.
+//!
+//! # Incremental deltas
+//!
+//! Taking a full snapshot after every mutation costs O(heap); at production
+//! scale that dominates everything else. [`SiteHeap`] therefore also
+//! maintains the snapshot *incrementally*: every mutation records, in O(1),
+//! which objects' out-edges changed, and [`SiteHeap::take_delta`] turns the
+//! accumulated dirt into an [`EdgeDelta`] by recomputing reachability only
+//! for the vertices whose reachable set can actually have changed (found via
+//! a reverse-edge closure of the dirty objects). The running snapshot is
+//! available through [`SiteHeap::cached_snapshot`] and always equals what a
+//! fresh [`SiteHeap::snapshot`] rescan would produce — the runtime
+//! `debug_assert!`s that equivalence on every delta in debug builds.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -16,6 +29,7 @@ use std::fmt;
 
 use ggd_types::{GlobalAddr, ObjectId, SiteId, VertexId};
 
+use crate::object::ObjRef;
 use crate::site_heap::SiteHeap;
 
 /// A point-in-time view of the edges this site contributes to the global
@@ -140,6 +154,11 @@ impl EdgeDiff {
 impl SiteHeap {
     /// Takes a reachability snapshot of this site: which remote objects are
     /// reachable from the local root set and from each global root.
+    ///
+    /// This is the full O(heap) rescan. The incremental pipeline
+    /// ([`SiteHeap::take_delta`]) maintains the same information in
+    /// O(changed) per mutation; this method remains the reference
+    /// implementation the incremental cache is checked against.
     pub fn snapshot(&self) -> ReachabilitySnapshot {
         let locally_reachable = self.locally_rooted();
         let from_local_roots = self.remote_reachable_from(self.local_root_set().iter().copied());
@@ -156,6 +175,478 @@ impl SiteHeap {
             from_local_roots,
             per_global_root,
             locally_rooted_global_roots,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Incremental deltas
+// ----------------------------------------------------------------------
+
+/// The edge changes of one vertex of the site's portion of the global root
+/// graph, as produced by [`SiteHeap::take_delta`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexEdgeDelta {
+    /// The source vertex whose out-edges changed.
+    pub vertex: VertexId,
+    /// Edges gained since the previous delta, in target order.
+    pub created: Vec<GlobalAddr>,
+    /// Edges lost since the previous delta, in target order.
+    pub destroyed: Vec<GlobalAddr>,
+}
+
+/// The difference between two successive reachability snapshots, produced
+/// incrementally (O(changed), not O(heap)) by [`SiteHeap::take_delta`].
+///
+/// Consumers process the parts in the same order the full-snapshot diff
+/// would discover them: local-rootedness transitions first, then per-vertex
+/// edge changes in vertex order (creations before destructions), which is
+/// what keeps the incremental pipeline's control-message stream bit-for-bit
+/// identical to the retained full-rescan pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EdgeDelta {
+    site: SiteId,
+    /// Local-rootedness transitions of current global roots, in object
+    /// order: `(object, is_now_locally_rooted)`.
+    pub rootedness: Vec<(ObjectId, bool)>,
+    /// Global-root vertices that left the graph entirely (demoted by a GGD
+    /// verdict, then possibly collected). Their remaining out-edges appear
+    /// in [`EdgeDelta::edges`] as destroyed.
+    pub removed: Vec<ObjectId>,
+    /// Per-vertex edge changes, sorted by vertex (the anchor sorts first).
+    pub edges: Vec<VertexEdgeDelta>,
+}
+
+impl EdgeDelta {
+    /// Creates an empty delta for `site`.
+    pub fn empty(site: SiteId) -> Self {
+        EdgeDelta {
+            site,
+            ..EdgeDelta::default()
+        }
+    }
+
+    /// The site the delta belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// True when nothing changed since the previous delta.
+    pub fn is_empty(&self) -> bool {
+        self.rootedness.is_empty() && self.removed.is_empty() && self.edges.is_empty()
+    }
+
+    /// Every created edge, flattened as `(source vertex, target)` pairs.
+    pub fn created(&self) -> impl Iterator<Item = (VertexId, GlobalAddr)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|v| v.created.iter().map(move |&t| (v.vertex, t)))
+    }
+
+    /// Every destroyed edge, flattened as `(source vertex, target)` pairs.
+    pub fn destroyed(&self) -> impl Iterator<Item = (VertexId, GlobalAddr)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|v| v.destroyed.iter().map(move |&t| (v.vertex, t)))
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "delta of {}:", self.site)?;
+        for (id, is) in &self.rootedness {
+            writeln!(f, "  rooted({id}) = {is}")?;
+        }
+        for id in &self.removed {
+            writeln!(f, "  removed {id}")?;
+        }
+        for (source, target) in self.created() {
+            writeln!(f, "  + {source} -> {target}")?;
+        }
+        for (source, target) in self.destroyed() {
+            writeln!(f, "  - {source} -> {target}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-heap bookkeeping behind [`SiteHeap::take_delta`]: a reverse-edge
+/// multiset, the dirty sets accumulated by mutations, and the running
+/// snapshot cache.
+///
+/// The tracker starts inactive and costs nothing until the first
+/// `take_delta` call activates it (full-rescan users — the retained
+/// pipeline, unit tests, examples — never pay for it). Activation rebuilds
+/// the reverse-edge map and adopts the empty snapshot as the baseline, so
+/// the first delta reports the heap's entire current contribution — exactly
+/// what a collector that has seen nothing yet needs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaTracker {
+    active: bool,
+    /// Reverse local-edge multiset: `to → (from → occurrence count)`.
+    preds: BTreeMap<ObjectId, BTreeMap<ObjectId, u32>>,
+    /// Objects whose out-edges changed since the last delta.
+    dirty: BTreeSet<ObjectId>,
+    /// The local root set changed in a reachability-relevant way.
+    anchor_dirty: bool,
+    /// Global roots registered since the last delta.
+    roots_added: BTreeSet<ObjectId>,
+    /// Global roots unregistered since the last delta (and present in the
+    /// cache, i.e. they existed at the previous delta).
+    roots_removed: BTreeSet<ObjectId>,
+    /// The running snapshot; equals `SiteHeap::snapshot()` after every
+    /// `take_delta`.
+    cache: ReachabilitySnapshot,
+    /// Objects reachable from the local root set, cached alongside.
+    locally_rooted: BTreeSet<ObjectId>,
+}
+
+impl DeltaTracker {
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    pub(crate) fn note_ref_added(&mut self, from: ObjectId, to: ObjRef) {
+        if !self.active {
+            return;
+        }
+        if let ObjRef::Local(target) = to {
+            *self
+                .preds
+                .entry(target)
+                .or_default()
+                .entry(from)
+                .or_insert(0) += 1;
+        }
+        self.dirty.insert(from);
+    }
+
+    pub(crate) fn note_ref_removed(&mut self, from: ObjectId, to: ObjRef) {
+        if !self.active {
+            return;
+        }
+        if let ObjRef::Local(target) = to {
+            // The target (or its pred map) may already be gone when dangling
+            // slots to collected objects are dropped — saturate silently.
+            if let Some(preds) = self.preds.get_mut(&target) {
+                if let Some(count) = preds.get_mut(&from) {
+                    *count -= 1;
+                    if *count == 0 {
+                        preds.remove(&from);
+                    }
+                }
+                if preds.is_empty() {
+                    self.preds.remove(&target);
+                }
+            }
+        }
+        self.dirty.insert(from);
+    }
+
+    pub(crate) fn note_anchor_dirty(&mut self) {
+        if self.active {
+            self.anchor_dirty = true;
+        }
+    }
+
+    /// A fresh object became a local root; it reaches nothing yet, so the
+    /// locally-rooted cache can be extended in place instead of marking the
+    /// whole anchor dirty.
+    pub(crate) fn note_fresh_local_root(&mut self, id: ObjectId) {
+        if self.active {
+            self.locally_rooted.insert(id);
+        }
+    }
+
+    pub(crate) fn note_root_added(&mut self, id: ObjectId) {
+        if !self.active {
+            return;
+        }
+        self.roots_removed.remove(&id);
+        self.roots_added.insert(id);
+    }
+
+    pub(crate) fn note_root_removed(&mut self, id: ObjectId) {
+        if !self.active {
+            return;
+        }
+        self.roots_added.remove(&id);
+        // A removal only needs announcing when the vertex existed at the
+        // previous delta; a register/unregister pair inside one window
+        // cancels out (the full-rescan path never sees it either).
+        if self.cache.per_global_root.contains_key(&id) {
+            self.roots_removed.insert(id);
+        }
+    }
+
+    pub(crate) fn note_collected(
+        &mut self,
+        freed: &BTreeSet<ObjectId>,
+        objects: &BTreeMap<ObjectId, crate::object::HeapObject>,
+    ) {
+        if !self.active {
+            return;
+        }
+        for id in freed {
+            if let Some(obj) = objects.get(id) {
+                for target in obj.local_refs() {
+                    if let Some(preds) = self.preds.get_mut(&target) {
+                        preds.remove(id);
+                        if preds.is_empty() {
+                            self.preds.remove(&target);
+                        }
+                    }
+                }
+            }
+            self.preds.remove(id);
+            self.dirty.remove(id);
+            self.locally_rooted.remove(id);
+        }
+    }
+
+    fn has_dirt(&self) -> bool {
+        self.anchor_dirty
+            || !self.dirty.is_empty()
+            || !self.roots_added.is_empty()
+            || !self.roots_removed.is_empty()
+    }
+
+    fn clear_dirt(&mut self) {
+        self.dirty.clear();
+        self.anchor_dirty = false;
+        self.roots_added.clear();
+        self.roots_removed.clear();
+    }
+}
+
+impl SiteHeap {
+    /// The incrementally maintained snapshot. Only meaningful once the
+    /// tracker is active, i.e. after the first [`SiteHeap::take_delta`]
+    /// call; it then always reflects the state as of the latest delta.
+    pub fn cached_snapshot(&self) -> &ReachabilitySnapshot {
+        &self.tracker().cache
+    }
+
+    /// True when the incrementally maintained snapshot agrees with a fresh
+    /// full rescan. Used by the runtime's `debug_assert!` equivalence check.
+    pub fn tracker_is_consistent(&self) -> bool {
+        !self.tracker().is_active()
+            || (*self.cached_snapshot() == self.snapshot()
+                && self.tracker().locally_rooted == self.locally_rooted())
+    }
+
+    /// Produces the edge/rootedness difference accumulated since the last
+    /// call, updating the cached snapshot along the way.
+    ///
+    /// Work is proportional to the *affected* region — the reverse-edge
+    /// closure of the objects whose slots changed, plus one reachability
+    /// recomputation per vertex in that region — not to the heap. A
+    /// mutation that touched nothing relevant returns an empty delta
+    /// without traversing anything.
+    pub fn take_delta(&mut self) -> EdgeDelta {
+        if !self.tracker().is_active() {
+            return self.activate_tracker();
+        }
+        let site = self.site();
+        if !self.tracker().has_dirt() {
+            return EdgeDelta::empty(site);
+        }
+        let mut tracker = self.take_tracker();
+
+        // Reverse closure of the dirty objects: every object that can
+        // currently reach a dirty object — the only candidates whose
+        // forward-reachable sets can have changed.
+        let mut affected: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut stack: Vec<ObjectId> = tracker.dirty.iter().copied().collect();
+        while let Some(obj) = stack.pop() {
+            if !affected.insert(obj) {
+                continue;
+            }
+            if let Some(preds) = tracker.preds.get(&obj) {
+                for (&pred, &count) in preds {
+                    if count > 0 && !affected.contains(&pred) {
+                        stack.push(pred);
+                    }
+                }
+            }
+        }
+
+        let anchor_affected =
+            tracker.anchor_dirty || affected.iter().any(|obj| self.is_local_root(*obj));
+        let mut sources: BTreeSet<ObjectId> = affected
+            .iter()
+            .copied()
+            .filter(|obj| self.is_global_root(*obj))
+            .collect();
+        sources.extend(tracker.roots_added.iter().copied());
+        for id in &tracker.roots_removed {
+            sources.remove(id);
+        }
+
+        let mut edges: BTreeMap<VertexId, (Vec<GlobalAddr>, Vec<GlobalAddr>)> = BTreeMap::new();
+        let mut removed: Vec<ObjectId> = Vec::new();
+
+        // Vertices that left the graph: every cached edge is destroyed.
+        for &id in &tracker.roots_removed {
+            removed.push(id);
+            let old = tracker
+                .cache
+                .per_global_root
+                .remove(&id)
+                .unwrap_or_default();
+            tracker.cache.locally_rooted_global_roots.remove(&id);
+            if !old.is_empty() {
+                let vertex = VertexId::Object(GlobalAddr::from_parts(site, id));
+                edges.entry(vertex).or_default().1 = old.into_iter().collect();
+            }
+        }
+
+        // Anchor and rootedness: only recomputed when a local root reaches
+        // the affected region (otherwise nothing reachable from the local
+        // root set changed, so neither can any global root's rootedness).
+        let mut rootedness: Vec<(ObjectId, bool)> = Vec::new();
+        if anchor_affected {
+            let (reach, remotes) = self.reach_with_remotes(self.local_root_set().iter().copied());
+            let created: Vec<GlobalAddr> = remotes
+                .difference(&tracker.cache.from_local_roots)
+                .copied()
+                .collect();
+            let destroyed: Vec<GlobalAddr> = tracker
+                .cache
+                .from_local_roots
+                .difference(&remotes)
+                .copied()
+                .collect();
+            if !created.is_empty() || !destroyed.is_empty() {
+                edges.insert(VertexId::SiteRoot(site), (created, destroyed));
+            }
+            tracker.cache.from_local_roots = remotes;
+
+            let mut new_rooted = BTreeSet::new();
+            for &root in self.global_root_set() {
+                if reach.contains(&root) {
+                    new_rooted.insert(root);
+                }
+            }
+            for &root in self.global_root_set() {
+                let was = tracker.cache.locally_rooted_global_roots.contains(&root);
+                let is = new_rooted.contains(&root);
+                if was != is {
+                    rootedness.push((root, is));
+                }
+            }
+            tracker.cache.locally_rooted_global_roots = new_rooted;
+            tracker.locally_rooted = reach;
+        } else {
+            for &root in &tracker.roots_added {
+                if tracker.locally_rooted.contains(&root) {
+                    rootedness.push((root, true));
+                    tracker.cache.locally_rooted_global_roots.insert(root);
+                }
+            }
+        }
+
+        // Per-root recomputation for the affected sources only.
+        for &root in &sources {
+            let new_set = self.remote_reachable_from([root]);
+            let vertex = VertexId::Object(GlobalAddr::from_parts(site, root));
+            let (created, destroyed) = match tracker.cache.per_global_root.get(&root) {
+                Some(old) => (
+                    new_set.difference(old).copied().collect::<Vec<_>>(),
+                    old.difference(&new_set).copied().collect::<Vec<_>>(),
+                ),
+                None => (new_set.iter().copied().collect(), Vec::new()),
+            };
+            if !created.is_empty() || !destroyed.is_empty() {
+                edges.insert(vertex, (created, destroyed));
+            }
+            tracker.cache.per_global_root.insert(root, new_set);
+        }
+
+        tracker.clear_dirt();
+        self.put_tracker(tracker);
+
+        EdgeDelta {
+            site,
+            rootedness,
+            removed,
+            edges: edges
+                .into_iter()
+                .map(|(vertex, (created, destroyed))| VertexEdgeDelta {
+                    vertex,
+                    created,
+                    destroyed,
+                })
+                .collect(),
+        }
+    }
+
+    /// First `take_delta` on this heap: rebuild the reverse-edge map from
+    /// the object graph, adopt the empty snapshot as baseline, and report
+    /// the heap's entire current contribution as one delta.
+    fn activate_tracker(&mut self) -> EdgeDelta {
+        let site = self.site();
+        let snapshot = self.snapshot();
+        let locally_rooted = self.locally_rooted();
+        let mut preds: BTreeMap<ObjectId, BTreeMap<ObjectId, u32>> = BTreeMap::new();
+        for obj in self.iter() {
+            for target in obj.local_refs() {
+                *preds
+                    .entry(target)
+                    .or_default()
+                    .entry(obj.id())
+                    .or_insert(0) += 1;
+            }
+        }
+
+        let rootedness: Vec<(ObjectId, bool)> = snapshot
+            .locally_rooted_global_roots
+            .iter()
+            .map(|&id| (id, true))
+            .collect();
+        let mut edges: BTreeMap<VertexId, (Vec<GlobalAddr>, Vec<GlobalAddr>)> = BTreeMap::new();
+        if !snapshot.from_local_roots.is_empty() {
+            edges.insert(
+                VertexId::SiteRoot(site),
+                (
+                    snapshot.from_local_roots.iter().copied().collect(),
+                    Vec::new(),
+                ),
+            );
+        }
+        for (&id, targets) in &snapshot.per_global_root {
+            if !targets.is_empty() {
+                edges.insert(
+                    VertexId::Object(GlobalAddr::from_parts(site, id)),
+                    (targets.iter().copied().collect(), Vec::new()),
+                );
+            }
+        }
+
+        let tracker = DeltaTracker {
+            active: true,
+            preds,
+            dirty: BTreeSet::new(),
+            anchor_dirty: false,
+            roots_added: BTreeSet::new(),
+            roots_removed: BTreeSet::new(),
+            cache: snapshot,
+            locally_rooted,
+        };
+        self.put_tracker(tracker);
+
+        EdgeDelta {
+            site,
+            rootedness,
+            removed: Vec::new(),
+            edges: edges
+                .into_iter()
+                .map(|(vertex, (created, destroyed))| VertexEdgeDelta {
+                    vertex,
+                    created,
+                    destroyed,
+                })
+                .collect(),
         }
     }
 }
@@ -260,6 +751,167 @@ mod tests {
                 remote
             )]
         );
+    }
+
+    #[test]
+    fn first_delta_reports_everything_then_goes_incremental() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        h.add_ref(root, ObjRef::Remote(GlobalAddr::new(1, 1)))
+            .unwrap();
+        h.add_ref(exported, ObjRef::Remote(GlobalAddr::new(2, 1)))
+            .unwrap();
+
+        let delta = h.take_delta();
+        assert!(!delta.is_empty());
+        assert_eq!(delta.created().count(), 2);
+        assert_eq!(delta.destroyed().count(), 0);
+        assert!(h.tracker_is_consistent());
+        assert_eq!(h.cached_snapshot(), &h.snapshot());
+
+        // Nothing changed: the next delta is empty and costs nothing.
+        assert!(h.take_delta().is_empty());
+
+        // A mutation irrelevant to the root graph (an unreachable object
+        // gaining a remote ref) produces an empty delta too.
+        let loner = h.alloc();
+        h.add_ref(loner, ObjRef::Remote(GlobalAddr::new(3, 1)))
+            .unwrap();
+        assert!(h.take_delta().is_empty());
+        assert!(h.tracker_is_consistent());
+    }
+
+    #[test]
+    fn unregistering_a_root_is_reported_as_removal() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        h.add_ref(exported, ObjRef::Remote(GlobalAddr::new(4, 4)))
+            .unwrap();
+        let _ = h.take_delta();
+
+        h.unregister_global_root(exported);
+        let delta = h.take_delta();
+        assert_eq!(delta.removed, vec![exported]);
+        assert_eq!(delta.destroyed().count(), 1);
+        assert!(h.tracker_is_consistent());
+
+        // Register/unregister inside one window cancels out entirely.
+        h.register_global_root(exported).unwrap();
+        h.unregister_global_root(exported);
+        assert!(h.take_delta().is_empty());
+        assert!(h.tracker_is_consistent());
+    }
+
+    #[test]
+    fn rootedness_transitions_are_reported() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        let _ = h.take_delta();
+
+        h.add_ref(root, ObjRef::Local(exported)).unwrap();
+        let delta = h.take_delta();
+        assert_eq!(delta.rootedness, vec![(exported, true)]);
+
+        h.remove_ref(root, ObjRef::Local(exported)).unwrap();
+        let delta = h.take_delta();
+        assert_eq!(delta.rootedness, vec![(exported, false)]);
+        assert!(h.tracker_is_consistent());
+    }
+
+    #[test]
+    fn incremental_cache_matches_rescan_under_random_mutations() {
+        // Pseudo-random single-heap workload; after every mutation the
+        // incrementally maintained snapshot must equal a full rescan, and
+        // replaying the emitted deltas must reconstruct the final edge set.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let mut edges_model: BTreeSet<(VertexId, GlobalAddr)> = BTreeSet::new();
+        let mut objects: Vec<ObjectId> = Vec::new();
+        for _ in 0..4 {
+            objects.push(h.alloc_local_root());
+        }
+        for step in 0..400u64 {
+            match next() % 10 {
+                0 => objects.push(h.alloc()),
+                1 => objects.push(h.alloc_local_root()),
+                2 | 3 => {
+                    let from = objects[(next() % objects.len() as u64) as usize];
+                    let to = objects[(next() % objects.len() as u64) as usize];
+                    if h.contains(from) && h.contains(to) {
+                        h.add_ref(from, ObjRef::Local(to)).unwrap();
+                    }
+                }
+                4 => {
+                    let from = objects[(next() % objects.len() as u64) as usize];
+                    let addr = GlobalAddr::new((next() % 4 + 1) as u32, next() % 6 + 1);
+                    if h.contains(from) {
+                        h.add_ref(from, ObjRef::Remote(addr)).unwrap();
+                    }
+                }
+                5 => {
+                    let from = objects[(next() % objects.len() as u64) as usize];
+                    if h.contains(from) {
+                        h.clear_refs(from).unwrap();
+                    }
+                }
+                6 => {
+                    let obj = objects[(next() % objects.len() as u64) as usize];
+                    if h.contains(obj) {
+                        let _ = h.register_global_root(obj);
+                    }
+                }
+                7 => {
+                    let obj = objects[(next() % objects.len() as u64) as usize];
+                    h.unregister_global_root(obj);
+                }
+                8 => {
+                    let obj = objects[(next() % objects.len() as u64) as usize];
+                    h.remove_local_root(obj);
+                }
+                _ => {
+                    h.collect();
+                }
+            }
+            // Deltas are taken at varying cadence so several mutations can
+            // accumulate into one (the cluster syncs per mutation, but the
+            // tracker must not depend on that).
+            if step % 3 != 2 {
+                continue;
+            }
+            let delta = h.take_delta();
+            assert!(
+                h.tracker_is_consistent(),
+                "cache diverged from rescan at step {step}"
+            );
+            for pair in delta.created() {
+                assert!(edges_model.insert(pair), "duplicate creation {pair:?}");
+            }
+            for pair in delta.destroyed() {
+                assert!(edges_model.remove(&pair), "destroying unknown {pair:?}");
+            }
+        }
+        let final_edges = h.snapshot().edges();
+        // Model may lag by the ops after the last cadence point; take one
+        // final delta and compare.
+        let delta = h.take_delta();
+        for pair in delta.created() {
+            edges_model.insert(pair);
+        }
+        for pair in delta.destroyed() {
+            edges_model.remove(&pair);
+        }
+        assert_eq!(edges_model, final_edges);
     }
 
     #[test]

@@ -473,6 +473,234 @@ fn emit_churn(s: &mut Scenario, rng: &mut ChaCha8Rng, sites: u32, ops: u32) {
     s.settle();
 }
 
+// ----------------------------------------------------------------------
+// Large-scale perf scenarios
+// ----------------------------------------------------------------------
+
+/// Parameters of a large-scale performance scenario (the
+/// `ggd-bench --bin perf` harness). Unlike the explorer segments, these
+/// builders do all bookkeeping in O(1) per op — site-bucketed object pools,
+/// no linear scans — so scenarios with hundreds of thousands of ops build
+/// in milliseconds.
+///
+/// The generated heap shape mirrors a production object space: each site
+/// hosts a handful of *arena anchors* — objects exported once (to a
+/// neighbouring site's root) and therefore pinned as global roots — and the
+/// bulk of the objects hang in trees under those anchors. Site roots hold
+/// only remote references, so mutator churn under one anchor leaves every
+/// other vertex's reachability untouched — exactly the locality the
+/// incremental delta pipeline exploits and the full-rescan pipeline cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfSpec {
+    /// Number of sites.
+    pub sites: u32,
+    /// Objects pre-populated before churn begins (roots and anchors
+    /// included).
+    pub objects: u32,
+    /// Arena anchors per site.
+    pub anchors_per_site: u32,
+    /// Random mutator operations after pre-population.
+    pub churn_ops: u32,
+    /// Disconnected inter-site garbage rings woven into the heap.
+    pub islands: u32,
+    /// Sites spanned by each island ring.
+    pub island_span: u32,
+    /// Third-party exchange hubs.
+    pub hubs: u32,
+    /// Spokes per hub.
+    pub hub_spokes: u32,
+    /// Settling cadence during churn (every `settle_every` ops).
+    pub settle_every: u32,
+}
+
+impl PerfSpec {
+    /// The churn + island + hub mix at a given scale, with proportions
+    /// tuned so runs exercise exports, third-party sends, destructions and
+    /// verdicts together.
+    pub fn mix(sites: u32, objects: u32, churn_ops: u32) -> PerfSpec {
+        PerfSpec {
+            sites,
+            objects,
+            anchors_per_site: if objects / sites >= 512 { 32 } else { 8 },
+            churn_ops,
+            islands: (sites / 8).max(1),
+            island_span: 4.min(sites).max(2),
+            hubs: (sites / 16).max(1),
+            hub_spokes: 6.min(sites.saturating_sub(2)).max(1),
+            settle_every: 512,
+        }
+    }
+}
+
+/// Builds the concrete scenario for `spec`, deterministically from `seed`.
+pub fn build_perf_scenario(spec: &PerfSpec, seed: u64) -> Scenario {
+    assert!(spec.sites >= 2, "perf scenarios need at least two sites");
+    let sites = spec.sites;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7065_7266_5f67_6764);
+    let mut s = Scenario::new(sites);
+
+    // One root per site; roots only ever hold remote references.
+    let roots: Vec<ObjName> = (0..sites).map(|i| s.alloc(SiteId::new(i), true)).collect();
+
+    // Arena anchors: exported to the next site's root, so each is pinned as
+    // a live global root for the whole run.
+    let anchors = spec.anchors_per_site.max(1);
+    let mut pools: Vec<Vec<Vec<ObjName>>> = (0..sites).map(|_| Vec::new()).collect();
+    for site in 0..sites {
+        for _ in 0..anchors {
+            let anchor = s.alloc(SiteId::new(site), false);
+            s.send_ref(
+                SiteId::new(site),
+                roots[((site + 1) % sites) as usize],
+                anchor,
+            );
+            pools[site as usize].push(vec![anchor]);
+        }
+    }
+
+    // Filler objects: trees under the anchors, bucketed per site so every
+    // placement choice is O(1).
+    let prepopulated = (sites + sites * anchors).min(spec.objects);
+    for i in 0..spec.objects.saturating_sub(prepopulated) {
+        let site = (i % sites) as usize;
+        let pool_idx = rng.gen_range(0..anchors) as usize;
+        let obj = s.alloc(SiteId::new(site as u32), false);
+        let pool = &mut pools[site][pool_idx];
+        let parent = pool[rng.gen_range(0..pool.len() as u32) as usize];
+        s.op(MutatorOp::LinkLocal {
+            site: SiteId::new(site as u32),
+            from: parent,
+            to: obj,
+        });
+        pool.push(obj);
+    }
+    s.settle();
+
+    // Garbage islands: inter-site rings hung off a dedicated root, then
+    // disconnected — the work comprehensive collectors must find.
+    for island in 0..spec.islands {
+        let span = spec.island_span.clamp(2, sites);
+        let base = (island * 3) % sites;
+        let member_sites: Vec<SiteId> =
+            (0..span).map(|k| SiteId::new((base + k) % sites)).collect();
+        let anchor_site = member_sites[0];
+        let anchor = s.alloc(anchor_site, true);
+        let members: Vec<ObjName> = member_sites
+            .iter()
+            .map(|&site| s.alloc(site, false))
+            .collect();
+        s.send_ref(member_sites[0], anchor, members[0]);
+        for k in 0..span as usize {
+            let next = (k + 1) % span as usize;
+            s.send_ref(member_sites[next], members[k], members[next]);
+        }
+        s.settle();
+        s.op(MutatorOp::Unlink {
+            site: anchor_site,
+            from: anchor,
+            to: members[0],
+        });
+    }
+
+    // Hubs: third-party exchange traffic (lazy rule 2 on the hot path).
+    for hub_idx in 0..spec.hubs {
+        let hub_site = SiteId::new((hub_idx * 5) % sites);
+        let target_site = SiteId::new((hub_idx * 5 + 1) % sites);
+        let hub = s.alloc(hub_site, true);
+        let target = s.alloc(target_site, false);
+        s.send_ref(target_site, hub, target);
+        for spoke_idx in 0..spec.hub_spokes {
+            let spoke_site = SiteId::new((hub_idx * 5 + 2 + spoke_idx) % sites);
+            let spoke = s.alloc(spoke_site, true);
+            s.send_ref(spoke_site, hub, spoke);
+            s.send_ref(hub_site, spoke, target);
+        }
+    }
+    s.settle();
+
+    // Churn: allocation, linking, cross-site sends, unlinks and clears over
+    // the anchor pools. Site roots stay out of the local graph, so each op
+    // dirties exactly one arena.
+    let mut links: Vec<(SiteId, ObjName, ObjName)> = Vec::new();
+    let mut cross_refs: Vec<(SiteId, ObjName, ObjName)> = Vec::new();
+    let settle_every = spec.settle_every.max(1);
+    for step in 0..spec.churn_ops {
+        let site = rng.gen_range(0..sites) as usize;
+        let pool_idx = rng.gen_range(0..anchors) as usize;
+        match rng.gen_range(0..8u8) {
+            0..=2 => {
+                let obj = s.alloc(SiteId::new(site as u32), false);
+                let parent = {
+                    let pool = &pools[site][pool_idx];
+                    pool[rng.gen_range(0..pool.len() as u32) as usize]
+                };
+                s.op(MutatorOp::LinkLocal {
+                    site: SiteId::new(site as u32),
+                    from: parent,
+                    to: obj,
+                });
+                links.push((SiteId::new(site as u32), parent, obj));
+                pools[site][pool_idx].push(obj);
+            }
+            3..=4 => {
+                // Send a reference to a random object to an anchor of
+                // another site (anchors are exported, hence addressable).
+                let target = {
+                    let pool = &pools[site][pool_idx];
+                    pool[rng.gen_range(0..pool.len() as u32) as usize]
+                };
+                let other = (site + 1 + rng.gen_range(0..sites - 1) as usize) % sites as usize;
+                let recipient = pools[other][rng.gen_range(0..anchors) as usize][0];
+                s.send_ref(SiteId::new(site as u32), recipient, target);
+                cross_refs.push((SiteId::new(other as u32), recipient, target));
+            }
+            5 => {
+                if let Some(idx) = non_empty_index(&mut rng, links.len()) {
+                    let (link_site, from, to) = links.swap_remove(idx);
+                    s.op(MutatorOp::Unlink {
+                        site: link_site,
+                        from,
+                        to,
+                    });
+                }
+            }
+            6 => {
+                if let Some(idx) = non_empty_index(&mut rng, cross_refs.len()) {
+                    let (ref_site, from, to) = cross_refs.swap_remove(idx);
+                    s.op(MutatorOp::Unlink {
+                        site: ref_site,
+                        from,
+                        to,
+                    });
+                }
+            }
+            _ => {
+                let pool = &pools[site][pool_idx];
+                if pool.len() > 1 {
+                    let victim = pool[rng.gen_range(1..pool.len() as u32) as usize];
+                    s.op(MutatorOp::ClearRefs {
+                        site: SiteId::new(site as u32),
+                        name: victim,
+                    });
+                }
+            }
+        }
+        if step % settle_every == settle_every - 1 {
+            s.settle();
+        }
+    }
+    s.settle();
+    s
+}
+
+fn non_empty_index(rng: &mut ChaCha8Rng, len: usize) -> Option<usize> {
+    if len == 0 {
+        None
+    } else {
+        Some(rng.gen_range(0..len as u32) as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +750,35 @@ mod tests {
             segments: vec![Segment::Hub { spokes: 2 }],
         };
         assert!(spec.build(3).cyclic.is_empty(), "hubs produce no garbage");
+    }
+
+    #[test]
+    fn perf_scenarios_are_deterministic_and_legal() {
+        let spec = PerfSpec::mix(16, 2_000, 500);
+        let a = build_perf_scenario(&spec, 9);
+        let b = build_perf_scenario(&spec, 9);
+        assert_eq!(a, b, "same spec and seed must build the same scenario");
+
+        let mut defined = std::collections::BTreeSet::new();
+        let mut allocs = 0u32;
+        for step in a.steps() {
+            if let Step::Op(op) = step {
+                if let Some(name) = op.defined_name() {
+                    assert!(defined.insert(name), "names are unique");
+                    allocs += 1;
+                }
+                for used in op.used_names() {
+                    assert!(defined.contains(&used), "op uses undefined name");
+                }
+                for site in op.sites() {
+                    assert!(site.index() < spec.sites);
+                }
+            }
+        }
+        assert!(
+            allocs >= spec.objects,
+            "pre-population must reach the requested object count"
+        );
     }
 
     #[test]

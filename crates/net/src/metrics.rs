@@ -53,6 +53,11 @@ struct Bucket {
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct NetMetrics {
     buckets: BTreeMap<MetricKey, Bucket>,
+    /// Payload bytes currently sitting in transport queues.
+    queued_bytes: u64,
+    /// High-water mark of `queued_bytes` — the backlog a deployment would
+    /// have to buffer. Reported by the perf harness (`BENCH_perf.json`).
+    peak_queued_bytes: u64,
 }
 
 impl NetMetrics {
@@ -90,6 +95,28 @@ impl NetMetrics {
     /// Records a fault-injected duplicate delivery.
     pub fn record_duplicated(&mut self, class: MessageClass, label: &str) {
         self.bucket(class, label).duplicated += 1;
+    }
+
+    /// Notes `bytes` entering a transport queue, updating the high-water
+    /// mark.
+    pub fn note_enqueued(&mut self, bytes: usize) {
+        self.queued_bytes += bytes as u64;
+        self.peak_queued_bytes = self.peak_queued_bytes.max(self.queued_bytes);
+    }
+
+    /// Notes `bytes` leaving a transport queue (delivered or discarded).
+    pub fn note_dequeued(&mut self, bytes: usize) {
+        self.queued_bytes = self.queued_bytes.saturating_sub(bytes as u64);
+    }
+
+    /// Payload bytes currently queued.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// The highest number of payload bytes ever queued at once.
+    pub fn peak_queued_bytes(&self) -> u64 {
+        self.peak_queued_bytes
     }
 
     /// Total messages accepted for sending.
@@ -176,11 +203,17 @@ impl NetMetrics {
             mine.duplicated += bucket.duplicated;
             mine.bytes_sent += bucket.bytes_sent;
         }
+        self.queued_bytes += other.queued_bytes;
+        // Peaks of independent runs do not add up; the aggregate keeps the
+        // worst single-run backlog.
+        self.peak_queued_bytes = self.peak_queued_bytes.max(other.peak_queued_bytes);
     }
 
     /// Resets every counter.
     pub fn reset(&mut self) {
         self.buckets.clear();
+        self.queued_bytes = 0;
+        self.peak_queued_bytes = 0;
     }
 }
 

@@ -232,6 +232,7 @@ impl<P: Payload> SimNetwork<P> {
         delay: u64,
     ) {
         let seq = self.next_seq * 2 + u64::from(duplicate);
+        self.metrics.note_enqueued(payload.size_hint());
         self.queue.push(Queued {
             deliver_at: self.now + delay,
             seq,
@@ -280,6 +281,7 @@ impl<P: Payload> SimNetwork<P> {
                 continue;
             }
             self.now = self.now.max(msg.deliver_at);
+            self.metrics.note_dequeued(msg.payload.size_hint());
             if msg.duplicate {
                 self.metrics.record_duplicated(msg.class, msg.label);
             } else {

@@ -96,9 +96,11 @@ impl<P: Payload> ThreadedEndpoint<P> {
         // Only messages with a resolvable destination count as sent, so the
         // metrics tables never include traffic that was refused outright.
         let sender = self.senders.get(&to).ok_or(SendError { to })?;
-        self.metrics
-            .lock()
-            .record_sent(payload.class(), payload.label(), payload.size_hint());
+        {
+            let mut metrics = self.metrics.lock();
+            metrics.record_sent(payload.class(), payload.label(), payload.size_hint());
+            metrics.note_enqueued(payload.size_hint());
+        }
         sender
             .send(Envelope::new(self.site, to, payload))
             .map_err(|_| SendError { to })
@@ -109,9 +111,10 @@ impl<P: Payload> ThreadedEndpoint<P> {
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<P>> {
         match self.receiver.recv_timeout(timeout) {
             Ok(env) => {
-                self.metrics
-                    .lock()
-                    .record_delivered(env.payload.class(), env.payload.label());
+                let mut metrics = self.metrics.lock();
+                metrics.record_delivered(env.payload.class(), env.payload.label());
+                metrics.note_dequeued(env.payload.size_hint());
+                drop(metrics);
                 Some(env)
             }
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
@@ -121,9 +124,9 @@ impl<P: Payload> ThreadedEndpoint<P> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope<P>> {
         self.receiver.try_recv().ok().map(|env| {
-            self.metrics
-                .lock()
-                .record_delivered(env.payload.class(), env.payload.label());
+            let mut metrics = self.metrics.lock();
+            metrics.record_delivered(env.payload.class(), env.payload.label());
+            metrics.note_dequeued(env.payload.size_hint());
             env
         })
     }
@@ -175,9 +178,11 @@ impl<P: Payload> ThreadedSender<P> {
     pub fn send(&self, to: SiteId, payload: P) -> Result<(), SendError> {
         // As for `ThreadedEndpoint::send`: refused traffic is never counted.
         let sender = self.senders.get(&to).ok_or(SendError { to })?;
-        self.metrics
-            .lock()
-            .record_sent(payload.class(), payload.label(), payload.size_hint());
+        {
+            let mut metrics = self.metrics.lock();
+            metrics.record_sent(payload.class(), payload.label(), payload.size_hint());
+            metrics.note_enqueued(payload.size_hint());
+        }
         sender
             .send(Envelope::new(self.site, to, payload))
             .map_err(|_| SendError { to })
@@ -203,9 +208,9 @@ impl<P: Payload> ThreadedReceiver<P> {
     /// sender to this site has been dropped.
     pub fn recv(&self) -> Option<Envelope<P>> {
         self.receiver.recv().ok().map(|env| {
-            self.metrics
-                .lock()
-                .record_delivered(env.payload.class(), env.payload.label());
+            let mut metrics = self.metrics.lock();
+            metrics.record_delivered(env.payload.class(), env.payload.label());
+            metrics.note_dequeued(env.payload.size_hint());
             env
         })
     }

@@ -17,7 +17,7 @@ use ggd_types::{GlobalAddr, SiteId};
 use crate::collector::{Collector, SimPayload};
 use crate::oracle::Oracle;
 use crate::report::RunReport;
-use crate::runtime::{SiteRuntime, SiteTick};
+use crate::runtime::{SiteRuntime, SiteTick, SyncMode};
 
 /// Configuration of a cluster run.
 ///
@@ -25,7 +25,7 @@ use crate::runtime::{SiteRuntime, SiteTick};
 /// constructors ([`Cluster::new`] / [`Cluster::from_scenario`]); transports
 /// supplied through [`Cluster::with_transport`] ignore them. The settle
 /// valve applies to every transport.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Network latency/jitter configuration (simulated network only).
     pub net: SimNetworkConfig,
@@ -35,6 +35,27 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Safety valve for the settle loop; `0` means the default (64 rounds).
     pub max_settle_rounds: u32,
+    /// Snapshot pipeline for every site runtime (incremental by default;
+    /// [`SyncMode::FullRescan`] retains the pre-delta reference path).
+    pub sync_mode: SyncMode,
+    /// When true (the default), every local collection is cross-checked
+    /// against the global reachability oracle — an O(cluster) pass per
+    /// collection. The perf harness disables it to measure the collectors,
+    /// not the oracle.
+    pub safety_oracle: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            net: SimNetworkConfig::default(),
+            faults: FaultPlan::default(),
+            seed: 0,
+            max_settle_rounds: 0,
+            sync_mode: SyncMode::default(),
+            safety_oracle: true,
+        }
+    }
 }
 
 impl ClusterConfig {
@@ -151,7 +172,10 @@ where
         let mut runtimes = BTreeMap::new();
         for i in 0..sites {
             let site = SiteId::new(i);
-            runtimes.insert(site, SiteRuntime::new(site, factory(site)));
+            runtimes.insert(
+                site,
+                SiteRuntime::with_mode(site, factory(site), config.sync_mode),
+            );
         }
         Cluster {
             config,
@@ -310,9 +334,15 @@ where
     }
 
     /// Runs a local collection on one site, checking every freed object
-    /// against the oracle.
+    /// against the oracle (unless [`ClusterConfig::safety_oracle`] is off).
     pub fn collect_site(&mut self, site: SiteId) {
-        let live = Oracle::reachable(self.sites.values().map(SiteRuntime::heap));
+        let live = if self.config.safety_oracle {
+            Some(Oracle::reachable(
+                self.sites.values().map(SiteRuntime::heap),
+            ))
+        } else {
+            None
+        };
         let runtime = self.sites.get_mut(&site).expect("site exists");
         let outcome = runtime.collect();
         let tick = if outcome.is_noop() {
@@ -322,7 +352,7 @@ where
         };
         for freed in &outcome.freed {
             let addr = GlobalAddr::from_parts(site, *freed);
-            if live.contains(&addr) {
+            if live.as_ref().is_some_and(|live| live.contains(&addr)) {
                 self.safety_violations += 1;
             }
             self.reclaimed_addrs.insert(addr);

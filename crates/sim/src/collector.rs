@@ -2,7 +2,7 @@
 //! paper's causal engine.
 
 use ggd_causal::{CausalEngine, CausalMessage};
-use ggd_heap::ReachabilitySnapshot;
+use ggd_heap::{EdgeDelta, ReachabilitySnapshot};
 use ggd_net::{MessageClass, Payload};
 use ggd_types::{GlobalAddr, SiteId, VertexId};
 
@@ -31,6 +31,25 @@ pub trait Collector {
 
     /// A fresh reachability snapshot of this site's heap.
     fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot);
+
+    /// An incremental snapshot delta together with the up-to-date cached
+    /// snapshot it produced. Collectors that can consume the delta directly
+    /// (the causal engine) override this and never touch the snapshot; the
+    /// default falls back to [`Collector::apply_snapshot`], which is free of
+    /// rescans — the runtime maintains the cached snapshot incrementally.
+    fn apply_delta(&mut self, delta: &EdgeDelta, snapshot: &ReachabilitySnapshot) {
+        let _ = delta;
+        self.apply_snapshot(snapshot);
+    }
+
+    /// True when the collector must observe *every* sync, including those
+    /// whose heap delta is empty — needed by engines whose snapshot
+    /// processing also flushes state changed by the lazy hooks (the tracing
+    /// baseline's report body counts reference transfers). The runtime
+    /// skips empty-delta syncs for everyone else.
+    fn needs_every_sync(&self) -> bool {
+        false
+    }
 
     /// An incoming control message from another site's engine.
     fn on_message(&mut self, from: SiteId, message: Self::Msg);
@@ -87,6 +106,10 @@ impl Collector for CausalCollector {
 
     fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
         self.engine.apply_snapshot(snapshot);
+    }
+
+    fn apply_delta(&mut self, delta: &EdgeDelta, _snapshot: &ReachabilitySnapshot) {
+        self.engine.apply_delta(delta);
     }
 
     fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
@@ -199,6 +222,14 @@ impl Collector for RefListingCollector {
         "reflisting"
     }
 
+    fn needs_every_sync(&self) -> bool {
+        // `on_receive_ref` extends the engine's held-set eagerly; the next
+        // snapshot application reconciles it even when the heap delta is
+        // empty (e.g. the recipient is unreachable from every source), so
+        // no sync may be skipped.
+        true
+    }
+
     fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr) {
         self.engine.on_export(exported, recipient);
     }
@@ -261,6 +292,13 @@ impl Collector for TracingCollector {
 
     fn name(&self) -> &'static str {
         "tracing"
+    }
+
+    fn needs_every_sync(&self) -> bool {
+        // The tracing report body includes transfer counters bumped by the
+        // lazy hooks, so a sync with an unchanged heap can still have to
+        // send a report.
+        true
     }
 
     fn on_export(&mut self, exported: GlobalAddr, recipient: GlobalAddr) {

@@ -40,4 +40,4 @@ pub use collector::{
 };
 pub use oracle::Oracle;
 pub use report::RunReport;
-pub use runtime::{SiteRuntime, SiteTick};
+pub use runtime::{SiteRuntime, SiteTick, SyncMode};

@@ -17,6 +17,22 @@ use ggd_types::{GlobalAddr, SiteId};
 
 use crate::collector::Collector;
 
+/// How a [`SiteRuntime`] turns heap mutations into collector events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// O(changed) pipeline: the heap maintains its reachability snapshot
+    /// incrementally and the collector consumes [`ggd_heap::EdgeDelta`]s;
+    /// syncs whose delta is empty skip the collector entirely (unless it
+    /// asks for every sync). The default.
+    #[default]
+    Incremental,
+    /// The retained pre-delta pipeline: a full O(heap) reachability rescan
+    /// after every mutation, re-diffed inside the collector. Kept as the
+    /// reference implementation for differential equivalence tests and as
+    /// the perf harness's comparison baseline.
+    FullRescan,
+}
+
 /// Control messages and verdicts produced by one runtime step.
 #[derive(Debug)]
 pub struct SiteTick<M> {
@@ -36,16 +52,29 @@ pub struct SiteRuntime<C: Collector> {
     site: SiteId,
     heap: SiteHeap,
     collector: C,
+    mode: SyncMode,
 }
 
 impl<C: Collector> SiteRuntime<C> {
-    /// Creates the runtime for `site` around `collector`.
+    /// Creates the runtime for `site` around `collector`, using the
+    /// incremental delta pipeline.
     pub fn new(site: SiteId, collector: C) -> Self {
+        SiteRuntime::with_mode(site, collector, SyncMode::default())
+    }
+
+    /// Creates the runtime with an explicit [`SyncMode`].
+    pub fn with_mode(site: SiteId, collector: C, mode: SyncMode) -> Self {
         SiteRuntime {
             site,
             heap: SiteHeap::new(site),
             collector,
+            mode,
         }
+    }
+
+    /// The snapshot pipeline this runtime drives.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
     }
 
     /// The site this runtime hosts.
@@ -178,12 +207,33 @@ impl<C: Collector> SiteRuntime<C> {
         self.heap.collect()
     }
 
-    /// Snapshot plumbing after local mutation: diffs a fresh reachability
-    /// snapshot into the collector, drains its outgoing control messages and
-    /// applies any verdicts to the heap.
+    /// Snapshot plumbing after local mutation: feeds the collector the
+    /// reachability change (a full rescan or an incremental delta, per the
+    /// [`SyncMode`]), drains its outgoing control messages and applies any
+    /// verdicts to the heap.
+    ///
+    /// On the incremental path a mutation that produced an empty delta
+    /// skips the collector entirely (unless it opted into every sync) —
+    /// no-op mutations cost O(1) instead of a full snapshot plus diff.
     pub fn sync(&mut self) -> SiteTick<C::Msg> {
-        let snapshot = self.heap.snapshot();
-        self.collector.apply_snapshot(&snapshot);
+        match self.mode {
+            SyncMode::FullRescan => {
+                let snapshot = self.heap.snapshot();
+                self.collector.apply_snapshot(&snapshot);
+            }
+            SyncMode::Incremental => {
+                let delta = self.heap.take_delta();
+                debug_assert!(
+                    self.heap.tracker_is_consistent(),
+                    "incremental snapshot diverged from a full rescan on {}",
+                    self.site
+                );
+                if !delta.is_empty() || self.collector.needs_every_sync() {
+                    self.collector
+                        .apply_delta(&delta, self.heap.cached_snapshot());
+                }
+            }
+        }
         let outgoing = self.collector.take_outgoing();
         let verdicts_applied = self.apply_verdicts();
         SiteTick {

@@ -12,12 +12,23 @@
 //! not generalise. A missing key is equivalent to an explicit
 //! [`Timestamp::Never`] entry, and the comparison and merge operations honour
 //! that equivalence.
+//!
+//! # Representation
+//!
+//! Vectors are stored as a key-sorted small vector: up to
+//! [`DependencyVector::INLINE_CAPACITY`] entries live inline (no heap
+//! allocation at all — the common case for the singleton and few-entry
+//! vectors the engine creates on its hot path), larger vectors spill to a
+//! contiguous `Vec`. Merges walk both entry slices with two pointers and
+//! mutate in place when no new key is introduced; comparisons
+//! ([`DependencyVector::causal_order`], [`DependencyVector::dominates`])
+//! never allocate.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-use crate::{Timestamp, VertexId};
+use crate::{SiteId, Timestamp, VertexId};
 
 /// Outcome of comparing two dependency vectors under the Schwarz & Mattern
 /// partial order (§3.2 of the paper).
@@ -45,6 +56,105 @@ impl fmt::Display for CausalOrder {
     }
 }
 
+/// One stored entry: a vertex and the freshest knowledge about it.
+type Entry = (VertexId, Timestamp);
+
+/// Placeholder for unused inline slots; never observable through the API.
+const EMPTY_ENTRY: Entry = (VertexId::SiteRoot(SiteId::new(0)), Timestamp::Never);
+
+/// The sorted small-vector backing store of a [`DependencyVector`].
+///
+/// Invariants: entries are strictly sorted by key and never hold
+/// [`Timestamp::Never`] (an absent key *is* `Never`).
+#[derive(Debug, Clone)]
+enum Entries {
+    /// At most `INLINE` entries stored inline; `len` are valid.
+    Inline {
+        /// Number of valid entries in `buf`.
+        len: u8,
+        /// Entry storage; slots at `len..` hold `EMPTY_ENTRY`.
+        buf: [Entry; DependencyVector::INLINE_CAPACITY],
+    },
+    /// Spilled storage for larger vectors.
+    Spilled(Vec<Entry>),
+}
+
+impl Default for Entries {
+    fn default() -> Self {
+        Entries::Inline {
+            len: 0,
+            buf: [EMPTY_ENTRY; DependencyVector::INLINE_CAPACITY],
+        }
+    }
+}
+
+impl Entries {
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            Entries::Inline { len, buf } => &buf[..usize::from(*len)],
+            Entries::Spilled(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Entry] {
+        match self {
+            Entries::Inline { len, buf } => &mut buf[..usize::from(*len)],
+            Entries::Spilled(v) => v,
+        }
+    }
+
+    fn from_vec(v: Vec<Entry>) -> Self {
+        if v.len() <= DependencyVector::INLINE_CAPACITY {
+            let mut buf = [EMPTY_ENTRY; DependencyVector::INLINE_CAPACITY];
+            buf[..v.len()].copy_from_slice(&v);
+            Entries::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            Entries::Spilled(v)
+        }
+    }
+
+    fn insert(&mut self, index: usize, entry: Entry) {
+        match self {
+            Entries::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < DependencyVector::INLINE_CAPACITY {
+                    buf.copy_within(index..n, index + 1);
+                    buf[index] = entry;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(n * 2);
+                    v.extend_from_slice(&buf[..index]);
+                    v.push(entry);
+                    v.extend_from_slice(&buf[index..n]);
+                    *self = Entries::Spilled(v);
+                }
+            }
+            Entries::Spilled(v) => v.insert(index, entry),
+        }
+    }
+
+    fn remove(&mut self, index: usize) {
+        match self {
+            Entries::Inline { len, buf } => {
+                let n = usize::from(*len);
+                buf.copy_within(index + 1..n, index);
+                buf[n - 1] = EMPTY_ENTRY;
+                *len -= 1;
+            }
+            Entries::Spilled(v) => {
+                v.remove(index);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = Entries::default();
+    }
+}
+
 /// A sparse dependency vector: the best known timestamp of the latest
 /// log-keeping event of each global root.
 ///
@@ -66,13 +176,27 @@ impl fmt::Display for CausalOrder {
 /// assert_eq!(v.get(VertexId::object(9, 9)), Timestamp::Never);
 /// assert!(v.get(b).is_absent());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(
     from = "Vec<(VertexId, Timestamp)>",
     into = "Vec<(VertexId, Timestamp)>"
 )]
 pub struct DependencyVector {
-    entries: BTreeMap<VertexId, Timestamp>,
+    entries: Entries,
+}
+
+impl PartialEq for DependencyVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.as_slice() == other.entries.as_slice()
+    }
+}
+
+impl Eq for DependencyVector {}
+
+impl Hash for DependencyVector {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.entries.as_slice().hash(state);
+    }
 }
 
 impl From<Vec<(VertexId, Timestamp)>> for DependencyVector {
@@ -83,15 +207,18 @@ impl From<Vec<(VertexId, Timestamp)>> for DependencyVector {
 
 impl From<DependencyVector> for Vec<(VertexId, Timestamp)> {
     fn from(v: DependencyVector) -> Self {
-        v.entries.into_iter().collect()
+        v.entries.as_slice().to_vec()
     }
 }
 
 impl DependencyVector {
+    /// Number of entries stored inline before the vector spills to the heap.
+    pub const INLINE_CAPACITY: usize = 3;
+
     /// Creates an empty vector (every entry implicitly [`Timestamp::Never`]).
     pub fn new() -> Self {
         DependencyVector {
-            entries: BTreeMap::new(),
+            entries: Entries::default(),
         }
     }
 
@@ -102,10 +229,17 @@ impl DependencyVector {
         v
     }
 
+    fn find(&self, addr: VertexId) -> Result<usize, usize> {
+        self.entries.as_slice().binary_search_by_key(&addr, |e| e.0)
+    }
+
     /// Returns the timestamp recorded for `addr`, defaulting to
     /// [`Timestamp::Never`] for unknown roots.
     pub fn get(&self, addr: VertexId) -> Timestamp {
-        self.entries.get(&addr).copied().unwrap_or(Timestamp::Never)
+        match self.find(addr) {
+            Ok(i) => self.entries.as_slice()[i].1,
+            Err(_) => Timestamp::Never,
+        }
     }
 
     /// Sets the entry for `addr`, returning the previous value.
@@ -113,36 +247,118 @@ impl DependencyVector {
     /// Setting an entry to [`Timestamp::Never`] removes it from the sparse
     /// representation so that logically equal vectors compare equal.
     pub fn set(&mut self, addr: VertexId, ts: Timestamp) -> Timestamp {
-        let prev = self.get(addr);
-        if ts == Timestamp::Never {
-            self.entries.remove(&addr);
-        } else {
-            self.entries.insert(addr, ts);
+        match self.find(addr) {
+            Ok(i) => {
+                let prev = self.entries.as_slice()[i].1;
+                if ts == Timestamp::Never {
+                    self.entries.remove(i);
+                } else {
+                    self.entries.as_mut_slice()[i].1 = ts;
+                }
+                prev
+            }
+            Err(i) => {
+                if ts != Timestamp::Never {
+                    self.entries.insert(i, (addr, ts));
+                }
+                Timestamp::Never
+            }
         }
-        prev
     }
 
     /// Merges newer knowledge about a single root into this vector, keeping
     /// whichever entry is fresher. Returns `true` when the entry changed.
     pub fn merge_entry(&mut self, addr: VertexId, ts: Timestamp) -> bool {
-        let current = self.get(addr);
-        let merged = current.merged(ts);
-        if merged != current {
-            self.set(addr, merged);
-            true
-        } else {
-            false
+        match self.find(addr) {
+            Ok(i) => {
+                let current = self.entries.as_slice()[i].1;
+                let merged = current.merged(ts);
+                if merged != current {
+                    self.entries.as_mut_slice()[i].1 = merged;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                if ts == Timestamp::Never {
+                    false
+                } else {
+                    self.entries.insert(i, (addr, ts));
+                    true
+                }
+            }
         }
     }
 
-    /// Point-wise merge (lattice join) of another vector into this one.
-    /// Returns `true` when any entry changed.
+    /// Point-wise merge (lattice join) of another vector into this one,
+    /// walking both sorted entry lists with two pointers. When no new key is
+    /// introduced the merge mutates entries in place without moving or
+    /// allocating anything. Returns `true` when any entry changed.
     pub fn merge(&mut self, other: &DependencyVector) -> bool {
-        let mut changed = false;
-        for (&addr, &ts) in &other.entries {
-            changed |= self.merge_entry(addr, ts);
+        let b = other.entries.as_slice();
+        if b.is_empty() {
+            return false;
         }
-        changed
+        // Pass 1: find out whether anything changes and how many keys of
+        // `other` are new to `self`.
+        let a = self.entries.as_slice();
+        let mut i = 0;
+        let mut inserts = 0usize;
+        let mut changed = false;
+        for &(key, ts) in b {
+            while i < a.len() && a[i].0 < key {
+                i += 1;
+            }
+            if i < a.len() && a[i].0 == key {
+                if a[i].1.merged(ts) != a[i].1 {
+                    changed = true;
+                }
+            } else {
+                // Entries never store `Never`, so a new key always changes.
+                inserts += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if inserts == 0 {
+            let a = self.entries.as_mut_slice();
+            let mut i = 0;
+            for &(key, ts) in b {
+                while a[i].0 < key {
+                    i += 1;
+                }
+                a[i].1 = a[i].1.merged(ts);
+            }
+            return true;
+        }
+        // Pass 2: rebuild with the exact final size in one allocation.
+        let a = self.entries.as_slice();
+        let mut merged = Vec::with_capacity(a.len() + inserts);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a[i].0, a[i].1.merged(b[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.entries = Entries::from_vec(merged);
+        true
     }
 
     /// Returns the point-wise merge of two vectors without mutating either.
@@ -154,12 +370,17 @@ impl DependencyVector {
 
     /// Number of explicit (non-`Never`) entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.as_slice().len()
     }
 
     /// True when the vector has no explicit entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.as_slice().is_empty()
+    }
+
+    /// True when every entry fits in the inline buffer (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.entries, Entries::Inline { .. })
     }
 
     /// Removes every explicit entry.
@@ -170,7 +391,7 @@ impl DependencyVector {
     /// Iterates over the explicit entries in key order.
     pub fn iter(&self) -> VectorEntries<'_> {
         VectorEntries {
-            inner: self.entries.iter(),
+            inner: self.entries.as_slice().iter(),
         }
     }
 
@@ -178,9 +399,10 @@ impl DependencyVector {
     /// entry — i.e. the roots through which a live path may still exist.
     pub fn live_support(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.entries
+            .as_slice()
             .iter()
             .filter(|(_, ts)| ts.is_live())
-            .map(|(&addr, _)| addr)
+            .map(|&(addr, _)| addr)
     }
 
     /// True when the vector records a live entry for any of the given roots.
@@ -197,15 +419,33 @@ impl DependencyVector {
 
     /// Compares two vectors under the Schwarz & Mattern partial order,
     /// counting destroyed entries as "no live edge ever created" (§3.2).
+    ///
+    /// The comparison walks both sorted entry lists with two pointers and
+    /// performs no allocation.
     pub fn causal_order(&self, other: &DependencyVector) -> CausalOrder {
+        let a = self.entries.as_slice();
+        let b = other.entries.as_slice();
+        let (mut i, mut j) = (0, 0);
         let mut less = false;
         let mut greater = false;
-        for addr in self.keys_union(other) {
-            let a = self.get(addr).live_index();
-            let b = other.get(addr).live_index();
-            if a < b {
+        while i < a.len() || j < b.len() {
+            let (x, y) = if j >= b.len() || (i < a.len() && a[i].0 < b[j].0) {
+                let x = a[i].1.live_index();
+                i += 1;
+                (x, 0)
+            } else if i >= a.len() || b[j].0 < a[i].0 {
+                let y = b[j].1.live_index();
+                j += 1;
+                (0, y)
+            } else {
+                let pair = (a[i].1.live_index(), b[j].1.live_index());
+                i += 1;
+                j += 1;
+                pair
+            };
+            if x < y {
                 less = true;
-            } else if a > b {
+            } else if x > y {
                 greater = true;
             }
         }
@@ -230,35 +470,38 @@ impl DependencyVector {
         )
     }
 
+    /// True when `self ≥ other` under the live-index partial order — the
+    /// direction the garbage test asks about ("does my knowledge supersede
+    /// the announced event?"). Allocation-free.
+    pub fn dominates(&self, other: &DependencyVector) -> bool {
+        matches!(
+            self.causal_order(other),
+            CausalOrder::After | CausalOrder::Equal
+        )
+    }
+
     /// Renders the vector as the fixed-dimension tuple notation of the
     /// paper's Figure 5, using `order` as the dimension ordering.
     ///
     /// Roots missing from the vector print as `0`.
     pub fn display_as_tuple(&self, order: &[VertexId]) -> String {
-        let cells: Vec<String> = order.iter().map(|a| self.get(*a).to_string()).collect();
-        format!("({})", cells.join(","))
-    }
-
-    fn keys_union<'a>(
-        &'a self,
-        other: &'a DependencyVector,
-    ) -> impl Iterator<Item = VertexId> + 'a {
-        let mut keys: Vec<VertexId> = self
-            .entries
-            .keys()
-            .chain(other.entries.keys())
-            .copied()
-            .collect();
-        keys.sort_unstable();
-        keys.dedup();
-        keys.into_iter()
+        use fmt::Write as _;
+        let mut out = String::from("(");
+        for (i, addr) in order.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", self.get(*addr));
+        }
+        out.push(')');
+        out
     }
 }
 
 impl fmt::Display for DependencyVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (addr, ts)) in self.entries.iter().enumerate() {
+        for (i, (addr, ts)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -299,14 +542,14 @@ impl<'a> IntoIterator for &'a DependencyVector {
 /// order. Produced by [`DependencyVector::iter`].
 #[derive(Debug, Clone)]
 pub struct VectorEntries<'a> {
-    inner: std::collections::btree_map::Iter<'a, VertexId, Timestamp>,
+    inner: std::slice::Iter<'a, Entry>,
 }
 
 impl<'a> Iterator for VectorEntries<'a> {
     type Item = (VertexId, Timestamp);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.next().map(|(&a, &t)| (a, t))
+        self.inner.next().copied()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -355,6 +598,7 @@ mod tests {
         assert!(!v.merge_entry(a(), Timestamp::created(1)));
         assert!(v.merge_entry(a(), Timestamp::destroyed(2)));
         assert!(!v.merge_entry(a(), Timestamp::created(2)));
+        assert!(!v.merge_entry(b(), Timestamp::Never));
         assert_eq!(v.get(a()), Timestamp::destroyed(2));
     }
 
@@ -380,6 +624,75 @@ mod tests {
     }
 
     #[test]
+    fn in_place_merge_without_new_keys() {
+        let mut left = DependencyVector::new();
+        left.set(a(), Timestamp::created(1));
+        left.set(b(), Timestamp::created(5));
+
+        let mut right = DependencyVector::new();
+        right.set(a(), Timestamp::created(4));
+        right.set(b(), Timestamp::created(2));
+
+        assert!(left.merge(&right));
+        assert_eq!(left.get(a()), Timestamp::created(4));
+        assert_eq!(left.get(b()), Timestamp::created(5));
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn spill_and_stay_sorted_beyond_inline_capacity() {
+        let n = DependencyVector::INLINE_CAPACITY * 4;
+        let mut v = DependencyVector::new();
+        // Insert in reverse order to exercise front insertion.
+        for i in (0..n).rev() {
+            v.set(
+                VertexId::object(i as u32, 1),
+                Timestamp::created(i as u64 + 1),
+            );
+        }
+        assert_eq!(v.len(), n);
+        assert!(!v.is_inline());
+        let keys: Vec<VertexId> = v.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        for i in 0..n {
+            assert_eq!(
+                v.get(VertexId::object(i as u32, 1)),
+                Timestamp::created(i as u64 + 1)
+            );
+        }
+        // Small vectors stay inline.
+        let small = DependencyVector::singleton(a(), Timestamp::created(1));
+        assert!(small.is_inline());
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        // One vector grown past the spill point and shrunk back, one built
+        // small: logically equal, so they must compare (and hash) equal.
+        let mut grown = DependencyVector::new();
+        let n = DependencyVector::INLINE_CAPACITY * 2;
+        for i in 0..n {
+            grown.set(VertexId::object(i as u32, 1), Timestamp::created(1));
+        }
+        for i in 1..n {
+            grown.set(VertexId::object(i as u32, 1), Timestamp::Never);
+        }
+        let small = DependencyVector::singleton(VertexId::object(0, 1), Timestamp::created(1));
+        assert!(!grown.is_inline());
+        assert!(small.is_inline());
+        assert_eq!(grown, small);
+
+        use std::collections::hash_map::DefaultHasher;
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        grown.hash(&mut h1);
+        small.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
     fn causal_order_matches_schwarz_mattern() {
         let mut earlier = DependencyVector::new();
         earlier.set(a(), Timestamp::created(1));
@@ -392,10 +705,15 @@ mod tests {
         assert!(earlier.causally_precedes(&later));
         assert!(earlier.dominated_by(&later));
         assert!(earlier.dominated_by(&earlier));
+        assert!(later.dominates(&earlier));
+        assert!(later.dominates(&later));
+        assert!(!earlier.dominates(&later));
 
         let mut other = DependencyVector::new();
         other.set(c(), Timestamp::created(1));
         assert_eq!(earlier.causal_order(&other), CausalOrder::Concurrent);
+        assert!(!earlier.dominates(&other));
+        assert!(!earlier.dominated_by(&other));
     }
 
     #[test]
@@ -405,6 +723,7 @@ mod tests {
         let with_destroyed = DependencyVector::singleton(a(), Timestamp::destroyed(5));
         let empty = DependencyVector::new();
         assert_eq!(with_destroyed.causal_order(&empty), CausalOrder::Equal);
+        assert_eq!(empty.causal_order(&with_destroyed), CausalOrder::Equal);
     }
 
     #[test]
@@ -451,6 +770,17 @@ mod tests {
     }
 
     #[test]
+    fn clear_empties_the_vector() {
+        let mut v = DependencyVector::new();
+        for i in 0..8u32 {
+            v.set(VertexId::object(i, 1), Timestamp::created(1));
+        }
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.is_inline());
+    }
+
+    #[test]
     fn display_is_never_empty() {
         assert_eq!(DependencyVector::new().to_string(), "{}");
         let v = DependencyVector::singleton(a(), Timestamp::created(1));
@@ -469,5 +799,66 @@ mod tests {
         let entries: Vec<(VertexId, Timestamp)> = v.clone().into();
         let back = DependencyVector::from(entries);
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn merge_against_btreemap_model() {
+        // Pseudo-random differential check of the small-vector merge against
+        // a BTreeMap model (the previous representation).
+        use std::collections::BTreeMap;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut model: BTreeMap<VertexId, Timestamp> = BTreeMap::new();
+            let mut left = DependencyVector::new();
+            let mut right = DependencyVector::new();
+            let mut right_model: BTreeMap<VertexId, Timestamp> = BTreeMap::new();
+            for _ in 0..(next() % 12) {
+                let key = VertexId::object((next() % 6) as u32, 1);
+                let idx = next() % 4 + 1;
+                let ts = if next() % 2 == 0 {
+                    Timestamp::created(idx)
+                } else {
+                    Timestamp::destroyed(idx)
+                };
+                left.merge_entry(key, ts);
+                let cur = model.get(&key).copied().unwrap_or(Timestamp::Never);
+                let merged = cur.merged(ts);
+                if merged != Timestamp::Never {
+                    model.insert(key, merged);
+                }
+            }
+            for _ in 0..(next() % 12) {
+                let key = VertexId::object((next() % 6) as u32, 1);
+                let idx = next() % 4 + 1;
+                let ts = if next() % 2 == 0 {
+                    Timestamp::created(idx)
+                } else {
+                    Timestamp::destroyed(idx)
+                };
+                right.merge_entry(key, ts);
+                let cur = right_model.get(&key).copied().unwrap_or(Timestamp::Never);
+                let merged = cur.merged(ts);
+                if merged != Timestamp::Never {
+                    right_model.insert(key, merged);
+                }
+            }
+            left.merge(&right);
+            for (&k, &ts) in &right_model {
+                let cur = model.get(&k).copied().unwrap_or(Timestamp::Never);
+                model.insert(k, cur.merged(ts));
+            }
+            let expect: Vec<(VertexId, Timestamp)> = model
+                .into_iter()
+                .filter(|(_, t)| *t != Timestamp::Never)
+                .collect();
+            let got: Vec<(VertexId, Timestamp)> = left.iter().collect();
+            assert_eq!(got, expect);
+        }
     }
 }
