@@ -42,6 +42,7 @@ fn main() {
         corpus: parse_corpus(&args, "--corpus").unwrap_or(200),
         seed: parse_u64(&args, "--seed").unwrap_or(7),
         strict: parse_flag(&args, "--strict"),
+        crashes: parse_flag(&args, "--crashes"),
         mode: if self_test {
             RunMode::SabotagedCausal { arm_after: 3 }
         } else {
@@ -51,10 +52,15 @@ fn main() {
     };
 
     println!(
-        "## ggd-explore — differential corpus (corpus={}, seed={}{}{})",
+        "## ggd-explore — differential corpus (corpus={}, seed={}{}{}{})",
         config.corpus,
         config.seed,
         if config.strict { ", strict" } else { "" },
+        if config.crashes {
+            ", CRASH MATRIX + durability"
+        } else {
+            ""
+        },
         if self_test { ", SELF-TEST" } else { "" },
     );
     let exploration = explore(&config);

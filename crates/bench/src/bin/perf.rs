@@ -7,16 +7,20 @@
 //! cargo run --release -p ggd-bench --bin perf -- --no-compare # skip the full-rescan baseline
 //! ```
 //!
-//! `--check FILE` parses FILE against the `ggd-bench-perf/v1` schema and
+//! `--check FILE` parses FILE against the `ggd-bench-perf/v2` schema and
 //! fails (exit 1) when any fresh row is more than 2x slower than the
 //! committed row of the same `(name, transport, mode)` — the CI
-//! regression gate.
+//! regression gate. Every run also executes the recovery matrix (WAL
+//! append overhead + full-cluster replay, `mode: "wal"` / `"replay"`);
+//! `--recovery-only` runs just that group and writes
+//! `BENCH_perf_recovery.json`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ggd_bench::perf::{
-    check_regression, check_speedup, perf_json, perf_matrix, run_matrix, validate_perf_json,
+    check_regression, check_speedup, perf_json, perf_matrix, recovery_matrix, run_matrix,
+    run_recovery_matrix, validate_perf_json,
 };
 
 /// A [`System`]-backed allocator that counts allocations and bytes, so the
@@ -75,18 +79,18 @@ fn main() {
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
-    let out_path = if smoke {
+    let recovery_only_flag = args.iter().any(|a| a == "--recovery-only");
+    let out_path = if recovery_only_flag {
+        "BENCH_perf_recovery.json"
+    } else if smoke {
         "BENCH_perf_smoke.json"
     } else {
         "BENCH_perf.json"
     };
 
-    let cases = perf_matrix(smoke);
-    eprintln!(
-        "perf suite: {} case(s), compare={compare}, smoke={smoke}",
-        cases.len()
-    );
-    let entries = run_matrix(&cases, compare, &alloc_stats, |entry| {
+    let recovery_only = recovery_only_flag;
+
+    let progress = |entry: &ggd_bench::perf::PerfEntry| {
         eprintln!(
             "  {:<24} {:<9} {:<6} run={:>9.1}ms ops/s={:>10.0} control={:>8} peak_queued={:>9}B allocs={}",
             entry.name,
@@ -98,7 +102,22 @@ fn main() {
             entry.peak_queued_bytes,
             entry.allocations,
         );
-    });
+    };
+
+    let cases = perf_matrix(smoke);
+    let recovery_cases = recovery_matrix(smoke);
+    eprintln!(
+        "perf suite: {} case(s) + {} recovery case(s), compare={compare}, smoke={smoke}{}",
+        cases.len(),
+        recovery_cases.len(),
+        if recovery_only { ", recovery-only" } else { "" },
+    );
+    let mut entries = if recovery_only {
+        Vec::new()
+    } else {
+        run_matrix(&cases, compare, &alloc_stats, progress)
+    };
+    entries.extend(run_recovery_matrix(&recovery_cases, &alloc_stats, progress));
 
     for entry in &entries {
         if let Some(speedup) = entry.speedup_vs_full {
@@ -146,7 +165,7 @@ fn main() {
         }
         // The machine-independent gate: the delta pipeline must keep a
         // healthy lead over the full-rescan pipeline *on this machine*.
-        if compare {
+        if compare && !recovery_only {
             match check_speedup(&entries, 1.5) {
                 Ok(()) => eprintln!("delta-vs-full speedup check: ok"),
                 Err(err) => {

@@ -75,7 +75,7 @@ pub fn render(title: &str, rows: &[Row]) -> String {
 fn run_with<C: Collector>(
     scenario: &Scenario,
     config: ClusterConfig,
-    factory: impl Fn(SiteId) -> C,
+    factory: impl Fn(SiteId) -> C + 'static,
 ) -> RunReport {
     let mut cluster = Cluster::from_scenario(scenario, config, factory);
     cluster.run(scenario)

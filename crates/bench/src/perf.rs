@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use ggd_mutator::generator::{build_perf_scenario, PerfSpec};
 use ggd_mutator::{Scenario, Step};
-use ggd_sim::{CausalCollector, Cluster, ClusterConfig, RunReport, SyncMode};
+use ggd_sim::{CausalCollector, Cluster, ClusterConfig, DurabilityConfig, RunReport, SyncMode};
+use ggd_types::SiteId;
 
 use crate::json::{self, JsonValue};
 
@@ -299,12 +300,140 @@ pub fn run_matrix(
     entries
 }
 
-/// The `BENCH_perf.json` schema identifier.
-pub const PERF_SCHEMA: &str = "ggd-bench-perf/v1";
+/// One case of the recovery matrix: a perf scenario run with durability on,
+/// then recovered site by site.
+#[derive(Debug, Clone)]
+pub struct RecoveryCase {
+    /// Row name; matches the main matrix's case of the same spec/seed so
+    /// the `wal` row is directly comparable to the committed `delta` row.
+    pub name: &'static str,
+    /// Generator parameters.
+    pub spec: PerfSpec,
+    /// Generator seed.
+    pub seed: u64,
+    /// WAL records between checkpoints. Tuned per scale: every checkpoint
+    /// encodes the full heap image, so the cadence must amortize it.
+    pub checkpoint_every: u32,
+}
+
+/// The recovery matrix (the `ggd-bench-perf/v2` rows): WAL append overhead
+/// and full-cluster replay time, at smoke scale on every CI run and at the
+/// 100k-object scale in the committed full matrix.
+pub fn recovery_matrix(smoke: bool) -> Vec<RecoveryCase> {
+    let smoke_case = RecoveryCase {
+        name: "smoke_churn_2k",
+        spec: PerfSpec::mix(16, 2_000, 1_000),
+        seed: 7,
+        checkpoint_every: 256,
+    };
+    if smoke {
+        return vec![smoke_case];
+    }
+    vec![
+        smoke_case,
+        RecoveryCase {
+            name: "churn_100k",
+            spec: PerfSpec::mix(64, 100_000, 20_000),
+            seed: 17,
+            checkpoint_every: 4_096,
+        },
+    ]
+}
+
+/// Runs the recovery matrix. Each case produces two rows:
+///
+/// * `mode: "wal"` — the scenario on the sim transport with the in-memory
+///   durable medium: every event WAL-encoded and appended, checkpoints at
+///   the case's cadence. Compare `run_ms` against the committed `delta` row
+///   of the same name for the write-ahead overhead.
+/// * `mode: "replay"` — every site crash+recovered in turn after the run
+///   (checkpoint decode + WAL replay through the runtime); `run_ms` is the
+///   total wall clock of all recoveries and `ops` the WAL records replayed.
+pub fn run_recovery_matrix(
+    cases: &[RecoveryCase],
+    probe: AllocProbe<'_>,
+    mut progress: impl FnMut(&PerfEntry),
+) -> Vec<PerfEntry> {
+    let mut entries = Vec::new();
+    for case in cases {
+        let start = Instant::now();
+        let scenario = build_perf_scenario(&case.spec, case.seed);
+        let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let perf_case = PerfCase {
+            name: case.name,
+            spec: case.spec,
+            seed: case.seed,
+            threaded: false,
+            compare: false,
+        };
+
+        let config = ClusterConfig {
+            durability: DurabilityConfig::memory().with_checkpoint_every(case.checkpoint_every),
+            ..perf_config(SyncMode::Incremental)
+        };
+        let ops = op_count(&scenario);
+        let (alloc_before, bytes_before) = probe();
+        let start = Instant::now();
+        let mut cluster = Cluster::from_scenario(&scenario, config, CausalCollector::new);
+        let report = cluster.run(&scenario);
+        let run_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let (alloc_after, bytes_after) = probe();
+        let wal = entry_from(
+            &perf_case,
+            "sim",
+            "wal",
+            Measured {
+                ops,
+                build_ms,
+                run_ms,
+                allocations: alloc_after.saturating_sub(alloc_before),
+                alloc_bytes: bytes_after.saturating_sub(bytes_before),
+            },
+            &report,
+        );
+        progress(&wal);
+        entries.push(wal);
+
+        // Replay: recover every site from its store, one by one.
+        let replayed_before = cluster.store_stats().records_replayed;
+        let (alloc_before, bytes_before) = probe();
+        let start = Instant::now();
+        for site in 0..scenario.site_count() {
+            cluster.crash_and_recover(SiteId::new(site));
+        }
+        let replay_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let (alloc_after, bytes_after) = probe();
+        let replayed = cluster
+            .store_stats()
+            .records_replayed
+            .saturating_sub(replayed_before);
+        let replay = entry_from(
+            &perf_case,
+            "sim",
+            "replay",
+            Measured {
+                ops: replayed,
+                build_ms,
+                run_ms: replay_ms,
+                allocations: alloc_after.saturating_sub(alloc_before),
+                alloc_bytes: bytes_after.saturating_sub(bytes_before),
+            },
+            &report,
+        );
+        progress(&replay);
+        entries.push(replay);
+    }
+    entries
+}
+
+/// The `BENCH_perf.json` schema identifier. `v2` added the recovery rows
+/// (`mode: "wal"` / `mode: "replay"`); the entry shape is unchanged, so v1
+/// rows are carried over byte-identically.
+pub const PERF_SCHEMA: &str = "ggd-bench-perf/v2";
 
 /// Renders entries as the `BENCH_perf.json` document.
 pub fn perf_json(entries: &[PerfEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"ggd-bench-perf/v1\",\n  \"entries\": [\n");
+    let mut out = format!("{{\n  \"schema\": \"{PERF_SCHEMA}\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let speedup = match e.speedup_vs_full {
             Some(s) => format!("{s:.2}"),

@@ -8,6 +8,7 @@ use std::fmt;
 use ggd_heap::{EdgeDelta, ReachabilitySnapshot};
 use ggd_types::{DependencyVector, GlobalAddr, SiteId, Timestamp, VertexId};
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::log::{DkLog, RootedVector};
 use crate::message::CausalMessage;
 
@@ -156,6 +157,149 @@ impl CausalEngine {
     /// All verdicts ever produced by this engine.
     pub fn detected(&self) -> impl Iterator<Item = GlobalAddr> + '_ {
         self.detected.iter().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: checkpoint, restore, compaction
+    // ------------------------------------------------------------------
+
+    /// Captures the engine's complete durable state. The derived
+    /// out-edge refcount index is not included; [`CausalEngine::restore`]
+    /// rebuilds it.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            site: self.site,
+            counters: self.counters.clone(),
+            log: self.log.clone(),
+            last_closure: self.last_closure.clone(),
+            edges_out: self.edges_out.clone(),
+            locally_rooted: self.locally_rooted.clone(),
+            inbound_holders: self.inbound_holders.clone(),
+            static_roots: self.static_roots.clone(),
+            detected: self.detected.clone(),
+            pending_verdicts: self.pending_verdicts.clone(),
+            outgoing: self.outgoing.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint, such that
+    /// `CausalEngine::restore(e.checkpoint())` is indistinguishable from
+    /// `e` under every public operation.
+    pub fn restore(checkpoint: EngineCheckpoint) -> Self {
+        let mut engine = CausalEngine {
+            site: checkpoint.site,
+            counters: checkpoint.counters,
+            log: checkpoint.log,
+            last_closure: checkpoint.last_closure,
+            edges_out: checkpoint.edges_out,
+            edge_refcounts: BTreeMap::new(),
+            locally_rooted: checkpoint.locally_rooted,
+            inbound_holders: checkpoint.inbound_holders,
+            static_roots: checkpoint.static_roots,
+            detected: checkpoint.detected,
+            pending_verdicts: checkpoint.pending_verdicts,
+            outgoing: checkpoint.outgoing,
+            stats: checkpoint.stats,
+        };
+        engine.rebuild_edge_refcounts();
+        engine
+    }
+
+    /// Compacts the log against the engine's *stable cutoff*, in two parts:
+    ///
+    /// 1. **Local detected vertices.** A detected vertex is provably
+    ///    unreachable from every actual root and its verdict is final
+    ///    ([`CausalEngine::detected`] blocks re-detection forever), so the
+    ///    row kept on its behalf, the entries keyed by it in other rows and
+    ///    its root-status stamps can only ever contribute stale
+    ///    conservatism.
+    /// 2. **Dead remote rows.** A row held on a remote vertex's behalf
+    ///    whose entries are all tombstones, while this site holds no edge
+    ///    to the vertex and no receive-rule holder bookkeeping for it, is
+    ///    pure destruction history. Dropping it can only lose tombstones
+    ///    and resolution knowledge, both of which push the garbage test
+    ///    towards *keeping* objects (an absent row blocks
+    ///    `direct_live_entries_resolved`, and a lost tombstone leaves a
+    ///    stale live entry standing) — never towards an unsafe verdict.
+    ///
+    /// Together they bound log growth under churn: the log tracks the
+    /// *live* cross-site graph, not the history of every object that ever
+    /// crossed a site boundary. The checkpoint path calls this.
+    ///
+    /// Returns the number of rows dropped.
+    pub fn compact_detected(&mut self) -> usize {
+        let mut dead: BTreeSet<VertexId> = self
+            .detected
+            .iter()
+            .map(|&addr| VertexId::Object(addr))
+            .collect();
+        let mut dropped = if dead.is_empty() {
+            0
+        } else {
+            for (_, holders) in self.inbound_holders.iter_mut() {
+                holders.retain(|holder| !dead.contains(holder));
+            }
+            self.inbound_holders
+                .retain(|_, holders| !holders.is_empty());
+            self.log.prune_vertices(&dead)
+        };
+
+        let dead_remote: BTreeSet<VertexId> = self
+            .log
+            .rows()
+            .filter(|(vertex, row)| {
+                let VertexId::Object(addr) = *vertex else {
+                    return false;
+                };
+                addr.site() != self.site
+                    && row.vector.iter().all(|(_, ts)| !ts.is_live())
+                    && !self.edge_refcounts.contains_key(&addr)
+                    && !self.inbound_holders.contains_key(&addr)
+            })
+            .map(|(vertex, _)| vertex)
+            .collect();
+        dropped += self.log.drop_rows(&dead_remote);
+
+        // 3. Inert local self-rows: the receive rule's `bump` creates a row
+        // for every local *holder* object (its own counter entry, nothing
+        // else). Once the holder is out of every inbound-holder set, holds
+        // no tracked out-edges and is not locally rooted, that row carries
+        // no cross-vertex knowledge — its single self entry only freshens
+        // the holder's own counter in closures passing through stale
+        // entries keyed by it. Exported objects' rows always carry their
+        // recipient placeholders, so no global root's row can match this
+        // shape.
+        let inert_local: BTreeSet<VertexId> = self
+            .log
+            .rows()
+            .filter(|(vertex, row)| {
+                let VertexId::Object(addr) = *vertex else {
+                    return false;
+                };
+                addr.site() == self.site
+                    && row.vector.len() == 1
+                    && row.vector.get(*vertex).is_live()
+                    && row.root_flags.is_empty()
+                    && !self.locally_rooted.contains(vertex)
+                    && !self.edges_out.contains_key(vertex)
+                    && !self
+                        .inbound_holders
+                        .values()
+                        .any(|holders| holders.contains(vertex))
+            })
+            .map(|(vertex, _)| vertex)
+            .collect();
+        dropped += self.log.drop_rows(&inert_local);
+
+        // The circulated-closure memos of every dropped subject are equally
+        // final.
+        dead.extend(dead_remote);
+        dead.extend(inert_local);
+        if !dead.is_empty() {
+            self.last_closure.retain(|vertex, _| !dead.contains(vertex));
+        }
+        dropped
     }
 
     // ------------------------------------------------------------------

@@ -70,10 +70,12 @@
 //! assert_eq!(verdicts, vec![obj_addr]);
 //! ```
 
+mod checkpoint;
 mod engine;
 mod log;
 mod message;
 
+pub use checkpoint::EngineCheckpoint;
 pub use engine::{CausalEngine, EngineStats, Outgoing};
 pub use log::{DkLog, RootedVector};
 pub use message::CausalMessage;

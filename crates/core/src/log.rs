@@ -170,6 +170,41 @@ impl DkLog {
         &self.root_flags
     }
 
+    /// Compacts the log against a set of *dead* vertices (local vertices
+    /// whose garbage verdict is final): their rows are dropped, entries
+    /// keyed by them are removed from every remaining row, and their
+    /// root-status stamps are forgotten. Soundness rests on what a verdict
+    /// means — a detected vertex is provably unreachable from every actual
+    /// root, so an entry keyed by it can never witness a *real* live root
+    /// path; it can only be stale conservatism (a placeholder or root stamp
+    /// that destruction news would eventually revoke anyway). Dropping it
+    /// anticipates that revocation. Returns the number of rows dropped.
+    pub fn prune_vertices(&mut self, dead: &std::collections::BTreeSet<VertexId>) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|vertex, _| !dead.contains(vertex));
+        for row in self.rows.values_mut() {
+            for &vertex in dead {
+                row.vector.set(vertex, ggd_types::Timestamp::Never);
+                row.root_flags.remove(&vertex);
+            }
+        }
+        for vertex in dead {
+            self.root_flags.remove(vertex);
+        }
+        before - self.rows.len()
+    }
+
+    /// Drops whole rows without touching entries keyed by their subjects in
+    /// other rows — the compaction step for dead *remote* rows, whose
+    /// tombstone-only contents are safe to forget but whose subject may
+    /// still be mentioned (as a tombstone) elsewhere. Returns the number of
+    /// rows dropped.
+    pub fn drop_rows(&mut self, subjects: &std::collections::BTreeSet<VertexId>) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|vertex, _| !subjects.contains(vertex));
+        before - self.rows.len()
+    }
+
     /// The paper's `ComputeV` (Fig. 6): reconstructs the best currently
     /// reconstructible approximation of the full vector-time of `vertex`'s
     /// latest log-keeping event by transitively expanding the locally held

@@ -5,6 +5,7 @@ use std::fmt;
 
 use ggd_mutator::generator::{ScenarioSpec, SegmentWeights};
 use ggd_net::FaultPlan;
+use ggd_sim::DurabilityConfig;
 
 use crate::repro;
 use crate::runner::{run_triple, CheckFailure, RunMode, Triple, TripleOutcome};
@@ -26,6 +27,11 @@ pub struct ExplorerConfig {
     /// How the causal collector is instantiated (the sabotaged mode is the
     /// explorer's self-test).
     pub mode: RunMode,
+    /// When true, triples draw their plans from the *crash* fault matrix
+    /// ([`FaultPlan::crash_matrix`]) and run on the in-memory durable
+    /// medium: every site that crashes recovers by checkpoint-load + WAL
+    /// replay mid-run. The classic matrix keeps durability off.
+    pub crashes: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -36,6 +42,7 @@ impl Default for ExplorerConfig {
             weights: SegmentWeights::default(),
             strict: false,
             mode: RunMode::Standard,
+            crashes: false,
         }
     }
 }
@@ -198,8 +205,28 @@ pub fn corpus_triple(seed: u64, index: u32, weights: &SegmentWeights) -> (Scenar
         fault,
         jitter: triple_seed % 3,
         seed: triple_seed >> 8,
+        durability: DurabilityConfig::off(),
         cyclic: built.cyclic,
     };
+    (spec, triple)
+}
+
+/// Builds the `index`-th triple of the *crash* corpus: the same generated
+/// scenarios as [`corpus_triple`], but paired with entries of the crash
+/// fault matrix and run on the in-memory durable medium, so every scheduled
+/// crash exercises the full checkpoint-load + WAL-replay recovery path
+/// under differential cross-checks.
+pub fn crash_corpus_triple(
+    seed: u64,
+    index: u32,
+    weights: &SegmentWeights,
+) -> (ScenarioSpec, Triple) {
+    let (spec, mut triple) = corpus_triple(seed, index, weights);
+    let matrix = FaultPlan::crash_matrix(spec.sites);
+    triple.fault = matrix[index as usize % matrix.len()].clone();
+    // A small cadence makes checkpoints (and the DkLog compaction they run)
+    // fire even on short generated scenarios.
+    triple.durability = DurabilityConfig::memory().with_checkpoint_every(16);
     (spec, triple)
 }
 
@@ -208,7 +235,11 @@ pub fn explore(config: &ExplorerConfig) -> Exploration {
     let mut stats = CorpusStats::default();
     let mut failures = Vec::new();
     for index in 0..config.corpus {
-        let (spec, triple) = corpus_triple(config.seed, index, &config.weights);
+        let (spec, triple) = if config.crashes {
+            crash_corpus_triple(config.seed, index, &config.weights)
+        } else {
+            corpus_triple(config.seed, index, &config.weights)
+        };
         for segment in &spec.segments {
             *stats.segments.entry(segment.kind()).or_default() += 1;
         }

@@ -6,7 +6,8 @@ use std::collections::BTreeSet;
 use ggd_mutator::{ObjName, Scenario};
 use ggd_net::{NamedFaultPlan, SimNetworkConfig};
 use ggd_sim::{
-    CausalCollector, Cluster, ClusterConfig, RefListingCollector, RunReport, TracingCollector,
+    CausalCollector, Cluster, ClusterConfig, DurabilityConfig, RefListingCollector, RunReport,
+    TracingCollector,
 };
 use ggd_types::GlobalAddr;
 
@@ -25,6 +26,10 @@ pub struct Triple {
     pub jitter: u64,
     /// RNG seed of the simulated network.
     pub seed: u64,
+    /// Site durability. Off for the classic fault matrix; the crash-plan
+    /// family runs on the in-memory durable medium (crash faults require a
+    /// durable backend, enforced by the cluster).
+    pub durability: DurabilityConfig,
     /// Objects that end the run as members of disconnected inter-site
     /// cycles. Generation-time knowledge: valid for the scenario exactly as
     /// built, which is why the shrinker never removes ops while minimizing
@@ -39,6 +44,7 @@ impl Triple {
             net: SimNetworkConfig::reordering(self.jitter),
             faults: self.fault.plan.clone(),
             seed: self.seed,
+            durability: self.durability.clone(),
             ..ClusterConfig::default()
         }
     }
@@ -177,9 +183,10 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
                 (report, garbage)
             }
             RunMode::SabotagedCausal { arm_after } => {
-                let (report, cluster) = Cluster::run_seeded(scenario, triple.config(), |site| {
-                    SaboteurCollector::new(site, arm_after)
-                });
+                let (report, cluster) =
+                    Cluster::run_seeded(scenario, triple.config(), move |site| {
+                        SaboteurCollector::new(site, arm_after)
+                    });
                 let garbage = if want_garbage {
                     cluster.garbage_addrs()
                 } else {

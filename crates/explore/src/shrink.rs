@@ -147,6 +147,46 @@ pub fn shrink(triple: &Triple, mode: RunMode, kind: &str) -> Triple {
         }
     }
 
+    // Phase 1b: minimize the crash schedule — first drop whole crash
+    // windows, then narrow the survivors (later start, earlier restart).
+    // Every candidate keeps the triple's durability: a plan that still has
+    // crashes still needs its durable backend.
+    if best.fault.plan.has_crashes() {
+        let with_plan = |base: &Triple, plan: ggd_net::FaultPlan| Triple {
+            fault: NamedFaultPlan::new("crash_shrunk", &ggd_net::crash_plan_code(&plan), plan),
+            ..base.clone()
+        };
+        let mut index = 0;
+        while index < best.fault.plan.crashes().len() {
+            let candidate = with_plan(&best, best.fault.plan.without_crash(index));
+            if still_fails(&candidate, mode, kind) {
+                best = candidate;
+            } else {
+                index += 1;
+            }
+        }
+        for index in 0..best.fault.plan.crashes().len() {
+            loop {
+                let crash = best.fault.plan.crashes()[index];
+                let span = crash.restart_after - crash.at_round;
+                if span <= 1 {
+                    break;
+                }
+                let narrowed = best.fault.plan.with_crash_window(
+                    index,
+                    crash.at_round,
+                    crash.at_round + span / 2,
+                );
+                let candidate = with_plan(&best, narrowed);
+                if still_fails(&candidate, mode, kind) {
+                    best = candidate;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
     if !ops_shrinkable {
         return best;
     }

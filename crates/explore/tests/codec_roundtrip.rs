@@ -1,0 +1,146 @@
+//! Codec round-trips over the explorer's pinned seed corpora.
+//!
+//! `encode ∘ decode ∘ encode` must be the byte-identity for every value the
+//! durable format carries. Synthetic values are covered by the unit tests
+//! in `ggd-store`; here the values are *real*: WAL records derived from
+//! every op of pinned generated scenarios, every control message the causal
+//! engines of those runs actually put on the wire, and the full engine
+//! checkpoints of every site at end of run. (Corrupted-record rejection —
+//! bad checksum, truncated tail — is pinned in `ggd-store`'s `wal` and
+//! `store` test modules.)
+
+use ggd_causal::{CausalMessage, EngineCheckpoint};
+use ggd_explore::corpus_triple;
+use ggd_mutator::generator::SegmentWeights;
+use ggd_mutator::{MutatorOp, Step};
+use ggd_sim::{CausalCollector, Cluster};
+use ggd_store::{decode_from_slice, encode_to_vec, WalRecord};
+use ggd_types::{GlobalAddr, SiteId};
+
+const PINNED_SEED: u64 = 7;
+const PINNED_INDICES: &[u32] = &[0, 1, 2, 3, 4, 5, 6, 7, 11, 19];
+
+fn assert_bit_identical<T>(value: &T, what: &str)
+where
+    T: ggd_store::Encode + ggd_store::Decode + PartialEq + std::fmt::Debug,
+{
+    let bytes = encode_to_vec(value);
+    let decoded: T = decode_from_slice(&bytes).unwrap_or_else(|e| {
+        panic!("{what}: decode failed: {e} (value {value:?})");
+    });
+    assert_eq!(&decoded, value, "{what}: decode changed the value");
+    assert_eq!(
+        encode_to_vec(&decoded),
+        bytes,
+        "{what}: re-encode is not bit-identical"
+    );
+}
+
+/// Maps a scenario op to the WAL records a site would log for it (address
+/// resolution simplified: names map to synthetic addresses — the codec does
+/// not care which addresses, only that every record shape round-trips).
+fn records_for(op: &MutatorOp) -> Vec<WalRecord<CausalMessage>> {
+    let addr = |n: ggd_mutator::ObjName| GlobalAddr::new(n.0 % 7, u64::from(n.0) + 1);
+    match op {
+        MutatorOp::Alloc { local_root, .. } => vec![WalRecord::Alloc {
+            local_root: *local_root,
+        }],
+        MutatorOp::LinkLocal { from, to, .. } => vec![WalRecord::LinkLocal {
+            from: addr(*from),
+            to: addr(*to),
+        }],
+        MutatorOp::Unlink { from, to, .. } => vec![WalRecord::Unlink {
+            from: addr(*from),
+            to: addr(*to),
+        }],
+        MutatorOp::SendRef {
+            from_site,
+            recipient,
+            target,
+        } => vec![
+            WalRecord::Export {
+                target: addr(*target),
+                recipient: addr(*recipient),
+            },
+            WalRecord::ReceiveRef {
+                from: *from_site,
+                recipient: addr(*recipient),
+                target: addr(*target),
+            },
+        ],
+        MutatorOp::DropLocalRoot { name, .. } => {
+            vec![WalRecord::DropLocalRoot { addr: addr(*name) }]
+        }
+        MutatorOp::ClearRefs { name, .. } => vec![WalRecord::ClearRefs { addr: addr(*name) }],
+        MutatorOp::CollectSite { .. } | MutatorOp::CollectAll => vec![WalRecord::Collect],
+    }
+}
+
+#[test]
+fn wal_records_of_pinned_scenarios_round_trip_bit_identically() {
+    let weights = SegmentWeights::default();
+    let mut records = 0u64;
+    for &index in PINNED_INDICES {
+        let (_, triple) = corpus_triple(PINNED_SEED, index, &weights);
+        for step in triple.scenario.steps() {
+            let Step::Op(op) = step else { continue };
+            for record in records_for(op) {
+                assert_bit_identical(&record, &format!("triple #{index} record"));
+                records += 1;
+            }
+        }
+    }
+    assert!(
+        records > 500,
+        "the corpus must exercise many records, got {records}"
+    );
+}
+
+#[test]
+fn engine_checkpoints_and_wire_messages_of_pinned_runs_round_trip() {
+    let weights = SegmentWeights::default();
+    let mut checkpoints = 0u64;
+    let mut messages = 0u64;
+    for &index in PINNED_INDICES[..4].iter() {
+        let (_, triple) = corpus_triple(PINNED_SEED, index, &weights);
+        let (_, cluster) =
+            Cluster::run_seeded(&triple.scenario, triple.config(), CausalCollector::new);
+        for site in 0..triple.scenario.site_count() {
+            let engine = cluster.collector(SiteId::new(site)).engine();
+            let checkpoint = engine.checkpoint();
+            assert_bit_identical(
+                &checkpoint,
+                &format!("triple #{index} site {site} checkpoint"),
+            );
+            checkpoints += 1;
+
+            // Every row of the engine's log is knowledge that travelled (or
+            // could travel) on the wire: round-trip it as a message payload.
+            for (vertex, row) in engine.log().rows() {
+                let message = CausalMessage {
+                    from: vertex,
+                    to: vertex,
+                    payload: row.clone(),
+                };
+                assert_bit_identical(
+                    &message,
+                    &format!("triple #{index} site {site} row message"),
+                );
+                messages += 1;
+            }
+
+            // A decoded checkpoint restores to an engine with the same
+            // observable log.
+            let bytes = encode_to_vec(&checkpoint);
+            let decoded: EngineCheckpoint = decode_from_slice(&bytes).expect("decodes");
+            let restored = ggd_causal::CausalEngine::restore(decoded);
+            assert_eq!(
+                restored.log().to_string(),
+                engine.log().to_string(),
+                "restored engine log differs"
+            );
+        }
+    }
+    assert!(checkpoints >= 8, "too few checkpoints exercised");
+    assert!(messages >= 20, "too few wire messages exercised");
+}

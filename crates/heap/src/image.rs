@@ -1,0 +1,129 @@
+//! Checkpoint images: the durable representation of a [`SiteHeap`].
+//!
+//! A [`HeapImage`] captures everything a heap needs to come back after a
+//! crash with *identical observable behaviour*: the objects with their slots
+//! in original insertion order (slot order matters — `remove_ref` drops the
+//! first matching slot, so a reordered image would make replayed unlinks
+//! diverge), both root sets, the allocation counter (so replayed `alloc`s
+//! reassign the very same [`ObjectId`]s) and the lifetime statistics.
+//!
+//! The incremental-delta tracker is deliberately *not* part of the image:
+//! it is a cache, rebuilt from the restored heap by the first
+//! [`SiteHeap::take_delta`] call (`ggd-sim`'s recovery path primes it before
+//! replaying, see `SiteRuntime::recover`).
+
+use std::collections::BTreeSet;
+
+use ggd_types::{ObjectId, SiteId};
+
+use crate::collect::HeapStats;
+use crate::object::{HeapObject, ObjRef};
+use crate::site_heap::SiteHeap;
+
+/// The durable state of one [`SiteHeap`], as written into checkpoints by
+/// `ggd-store`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapImage {
+    /// The site the heap belongs to.
+    pub site: SiteId,
+    /// The next object identity the heap will allocate.
+    pub next_object: u64,
+    /// Lifetime allocation/collection statistics.
+    pub stats: HeapStats,
+    /// The designated local roots.
+    pub local_roots: BTreeSet<ObjectId>,
+    /// The conservative global root set.
+    pub global_roots: BTreeSet<ObjectId>,
+    /// Every live object with its slots in insertion order, sorted by id.
+    pub objects: Vec<(ObjectId, Vec<ObjRef>)>,
+}
+
+impl SiteHeap {
+    /// Captures the heap's durable state.
+    pub fn image(&self) -> HeapImage {
+        HeapImage {
+            site: self.site(),
+            next_object: self.next_object_id(),
+            stats: *self.stats(),
+            local_roots: self.local_roots().collect(),
+            global_roots: self.global_roots().collect(),
+            objects: self
+                .iter()
+                .map(|obj| (obj.id(), obj.slots().to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a heap from a checkpoint image. The delta tracker starts
+    /// inactive, exactly as on a fresh heap.
+    pub fn from_image(image: &HeapImage) -> SiteHeap {
+        let mut heap = SiteHeap::new(image.site);
+        heap.set_next_object_id(image.next_object);
+        *heap.stats_mut() = image.stats;
+        for (id, slots) in &image.objects {
+            let mut obj = HeapObject::new(*id);
+            for &slot in slots {
+                obj.push_ref(slot);
+            }
+            heap.objects_mut().insert(*id, obj);
+        }
+        heap.set_root_sets(image.local_roots.clone(), image.global_roots.clone());
+        heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggd_types::GlobalAddr;
+
+    #[test]
+    fn image_round_trips_a_mutated_heap() {
+        let mut h = SiteHeap::new(SiteId::new(3));
+        let root = h.alloc_local_root();
+        let mid = h.alloc();
+        let exported = h.alloc();
+        h.register_global_root(exported).unwrap();
+        h.add_ref(root, ObjRef::Local(mid)).unwrap();
+        h.add_ref(mid, ObjRef::Remote(GlobalAddr::new(1, 7)))
+            .unwrap();
+        // Duplicate slots must survive the round trip in order.
+        h.add_ref(mid, ObjRef::Remote(GlobalAddr::new(1, 7)))
+            .unwrap();
+        h.add_ref(exported, ObjRef::Local(root)).unwrap();
+        let garbage = h.alloc();
+        h.collect();
+        assert!(!h.contains(garbage));
+
+        let image = h.image();
+        let back = SiteHeap::from_image(&image);
+        assert_eq!(back, h, "restored heap equals the original");
+        assert_eq!(back.image(), image, "image round trip is exact");
+
+        // The allocation counter continues where it left off.
+        let mut h2 = SiteHeap::from_image(&image);
+        let fresh_a = h.alloc();
+        let fresh_b = h2.alloc();
+        assert_eq!(fresh_a, fresh_b);
+    }
+
+    #[test]
+    fn restored_heap_behaves_identically_under_unlink() {
+        // Slot order matters: remove_ref swaps out the first match.
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let a = h.alloc_local_root();
+        let b = h.alloc();
+        let c = h.alloc();
+        h.add_ref(a, ObjRef::Local(b)).unwrap();
+        h.add_ref(a, ObjRef::Local(c)).unwrap();
+        h.add_ref(a, ObjRef::Local(b)).unwrap();
+
+        let mut restored = SiteHeap::from_image(&h.image());
+        h.remove_ref(a, ObjRef::Local(b)).unwrap();
+        restored.remove_ref(a, ObjRef::Local(b)).unwrap();
+        assert_eq!(
+            h.object(a).unwrap().slots(),
+            restored.object(a).unwrap().slots()
+        );
+    }
+}

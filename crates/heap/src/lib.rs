@@ -38,11 +38,13 @@
 //! ```
 
 mod collect;
+mod image;
 mod object;
 mod site_heap;
 mod snapshot;
 
 pub use collect::{CollectionOutcome, HeapStats};
+pub use image::HeapImage;
 pub use object::{HeapObject, ObjRef};
 pub use site_heap::{HeapError, SiteHeap};
 pub use snapshot::{EdgeDelta, EdgeDiff, ReachabilitySnapshot, VertexEdgeDelta};

@@ -431,6 +431,23 @@ impl SiteHeap {
         self.tracker.note_collected(freed, &self.objects);
     }
 
+    pub(crate) fn next_object_id(&self) -> u64 {
+        self.next_object
+    }
+
+    pub(crate) fn set_next_object_id(&mut self, next: u64) {
+        self.next_object = next;
+    }
+
+    pub(crate) fn set_root_sets(
+        &mut self,
+        local_roots: BTreeSet<ObjectId>,
+        global_roots: BTreeSet<ObjectId>,
+    ) {
+        self.local_roots = local_roots;
+        self.global_roots = global_roots;
+    }
+
     pub(crate) fn ensure_exists(&self, id: ObjectId) -> Result<(), HeapError> {
         if self.objects.contains_key(&id) {
             Ok(())

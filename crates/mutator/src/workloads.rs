@@ -215,6 +215,42 @@ pub fn garbage_island(total_sites: u32, island_sites: u32, live_objects_per_site
     s
 }
 
+/// Export churn: every round allocates a fresh object, exports its
+/// reference to a (rooted) holder on another site, settles, then severs the
+/// remote edge and settles again — so each round ends with one inter-site
+/// garbage object that only a GGD *verdict* can demote. This is the
+/// verdict-heavy workload the durability layer's log-compaction bound is
+/// measured against: without compaction the per-site logs grow with the
+/// number of rounds (one row per object that ever crossed a site
+/// boundary); with checkpoint-time compaction they track the live graph.
+///
+/// Objects rotate over `sites - 1` owner sites (site 0 hosts the holders),
+/// so every site's engine both issues verdicts (for its own exports) and
+/// accumulates remote-row history (for the holders' acknowledgements).
+pub fn export_churn(sites: u32, rounds: u32) -> Scenario {
+    assert!(sites >= 2);
+    let mut s = Scenario::new(sites);
+    let holder_site = SiteId::new(0);
+    for round in 0..rounds {
+        let owner = SiteId::new(1 + round % (sites - 1));
+        let exported = s.alloc(owner, false);
+        let holder = s.alloc(holder_site, true);
+        s.send_ref(owner, holder, exported);
+        s.settle();
+        s.op(MutatorOp::Unlink {
+            site: holder_site,
+            from: holder,
+            to: exported,
+        });
+        s.op(MutatorOp::DropLocalRoot {
+            site: holder_site,
+            name: holder,
+        });
+        s.settle();
+    }
+    s
+}
+
 /// A seeded random mutator: objects are allocated over `sites` sites, linked
 /// locally and remotely at random, references are dropped at random, and the
 /// scenario settles periodically. Used by the robustness experiments (E4)

@@ -11,6 +11,26 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ggd_types::SiteId;
 
+/// One scheduled site crash: the site is down for transport times in
+/// `[at_round, restart_after)`. Messages addressed to it during the window
+/// are *dropped* (its volatile inbox dies with it), counting as loss; the
+/// cluster layer tears the site's volatile runtime down at `at_round` and
+/// recovers it from its durable store once `restart_after` is reached.
+///
+/// "Round" is transport time: simulated ticks on the
+/// [`SimNetwork`](crate::SimNetwork), the delivered-message logical clock
+/// on the [`ThreadedNetwork`](crate::ThreadedNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteCrash {
+    /// The crashing site.
+    pub site: SiteId,
+    /// Transport time at which the site goes down.
+    pub at_round: u64,
+    /// Transport time at which the site comes back (exclusive end of the
+    /// down window).
+    pub restart_after: u64,
+}
+
 /// Per-link fault overrides.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkFault {
@@ -48,6 +68,8 @@ pub struct FaultPlan {
     link_overrides: BTreeMap<(SiteId, SiteId), LinkFault>,
     partitions: BTreeSet<(SiteId, SiteId)>,
     stalled: BTreeSet<SiteId>,
+    #[serde(default)]
+    crashes: Vec<SiteCrash>,
 }
 
 impl FaultPlan {
@@ -97,6 +119,64 @@ impl FaultPlan {
     pub fn with_stalled_site(mut self, site: SiteId) -> Self {
         self.stalled.insert(site);
         self
+    }
+
+    /// Schedules a site crash: `site` is down for transport times in
+    /// `[at_round, restart_after)`. See [`SiteCrash`] for the semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty (`restart_after <= at_round`).
+    pub fn with_crash(mut self, site: SiteId, at_round: u64, restart_after: u64) -> Self {
+        assert!(
+            restart_after > at_round,
+            "crash window must be non-empty (at_round {at_round} >= restart_after {restart_after})"
+        );
+        self.crashes.push(SiteCrash {
+            site,
+            at_round,
+            restart_after,
+        });
+        self.crashes.sort();
+        self
+    }
+
+    /// The scheduled site crashes, sorted by `(site, at_round)`.
+    pub fn crashes(&self) -> &[SiteCrash] {
+        &self.crashes
+    }
+
+    /// True when the plan schedules at least one site crash.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// True when `site` is down at transport time `now`.
+    pub fn is_crashed(&self, site: SiteId, now: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.site == site && c.at_round <= now && now < c.restart_after)
+    }
+
+    /// Returns the plan with the `index`-th crash (in [`FaultPlan::crashes`]
+    /// order) removed — the shrinker's crash-schedule minimization step.
+    pub fn without_crash(&self, index: usize) -> FaultPlan {
+        let mut plan = self.clone();
+        if index < plan.crashes.len() {
+            plan.crashes.remove(index);
+        }
+        plan
+    }
+
+    /// Returns the plan with the `index`-th crash window replaced.
+    pub fn with_crash_window(&self, index: usize, at_round: u64, restart_after: u64) -> FaultPlan {
+        let mut plan = self.clone();
+        if let Some(crash) = plan.crashes.get_mut(index) {
+            crash.at_round = at_round;
+            crash.restart_after = restart_after;
+        }
+        plan.crashes.sort();
+        plan
     }
 
     /// Removes a partition previously installed with [`FaultPlan::with_partition`].
@@ -160,6 +240,7 @@ impl FaultPlan {
                 .values()
                 .all(|f| f.drop_probability == 0.0)
             && self.partitions.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// The differential explorer's fault matrix for a system of `sites`
@@ -247,6 +328,49 @@ impl FaultPlan {
                 .values()
                 .all(|f| f.drop_probability == 0.0 && f.duplicate_probability == 0.0)
             && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// The crash-fault matrix for a system of `sites` sites: single and
+    /// repeated crashes, a coordinator crash (site 0 hosts the tracing
+    /// baseline's coordinator), overlapping two-site crashes, and a crash
+    /// combined with message loss. The companion of [`FaultPlan::matrix`]
+    /// for the explorer's `(scenario, crash-plan, seed)` family; every
+    /// entry schedules at least one crash, so runs under it require a
+    /// durability backend.
+    pub fn crash_matrix(sites: u32) -> Vec<NamedFaultPlan> {
+        let last = SiteId::new(sites.saturating_sub(1));
+        let s0 = SiteId::new(0);
+        let code = |plan: &FaultPlan| crash_plan_code(plan);
+        let mut entries = Vec::new();
+        let singles = [
+            ("crash_last_early", FaultPlan::new().with_crash(last, 2, 9)),
+            ("crash_last_late", FaultPlan::new().with_crash(last, 12, 30)),
+            ("crash_coordinator", FaultPlan::new().with_crash(s0, 4, 16)),
+            (
+                "crash_last_twice",
+                FaultPlan::new()
+                    .with_crash(last, 3, 8)
+                    .with_crash(last, 20, 28),
+            ),
+            (
+                "crash_last_drop10",
+                FaultPlan::new()
+                    .with_drop_probability(0.1)
+                    .with_crash(last, 5, 14),
+            ),
+        ];
+        for (name, plan) in singles {
+            entries.push(NamedFaultPlan::new(name, &code(&plan), plan));
+        }
+        if sites >= 3 {
+            let second = SiteId::new(1);
+            let plan = FaultPlan::new()
+                .with_crash(second, 3, 12)
+                .with_crash(last, 8, 18);
+            entries.push(NamedFaultPlan::new("crash_two_overlap", &code(&plan), plan));
+        }
+        entries
     }
 
     fn norm(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
@@ -256,6 +380,35 @@ impl FaultPlan {
             (b, a)
         }
     }
+}
+
+/// Renders the Rust expression rebuilding a crash-bearing plan (drop
+/// probability + crash windows; the explorer's crash plans use nothing
+/// else). Used by [`FaultPlan::crash_matrix`] and by the shrinker when it
+/// minimizes a crash schedule.
+pub fn crash_plan_code(plan: &FaultPlan) -> String {
+    let mut code = String::from("FaultPlan::new()");
+    if plan.drop_probability > 0.0 {
+        code.push_str(&format!(
+            ".with_drop_probability({:?})",
+            plan.drop_probability
+        ));
+    }
+    if plan.duplicate_probability > 0.0 {
+        code.push_str(&format!(
+            ".with_duplicate_probability({:?})",
+            plan.duplicate_probability
+        ));
+    }
+    for crash in &plan.crashes {
+        code.push_str(&format!(
+            ".with_crash(SiteId::new({}), {}, {})",
+            crash.site.index(),
+            crash.at_round,
+            crash.restart_after
+        ));
+    }
+    code
 }
 
 /// One entry of the explorer's fault matrix: a fault plan, its stable name
@@ -350,6 +503,72 @@ mod tests {
     #[should_panic]
     fn invalid_probability_panics() {
         let _ = FaultPlan::new().with_drop_probability(1.5);
+    }
+
+    #[test]
+    fn crash_windows_are_half_open_and_per_site() {
+        let plan = FaultPlan::new()
+            .with_crash(SiteId::new(1), 5, 10)
+            .with_crash(SiteId::new(1), 20, 25);
+        assert!(plan.has_crashes());
+        assert_eq!(plan.crashes().len(), 2);
+        assert!(!plan.is_crashed(SiteId::new(1), 4));
+        assert!(plan.is_crashed(SiteId::new(1), 5));
+        assert!(plan.is_crashed(SiteId::new(1), 9));
+        assert!(!plan.is_crashed(SiteId::new(1), 10));
+        assert!(plan.is_crashed(SiteId::new(1), 22));
+        assert!(!plan.is_crashed(SiteId::new(2), 7));
+        assert!(!plan.is_loss_free(), "a crash can lose queued messages");
+        assert!(!plan.is_reliable());
+
+        let shrunk = plan.without_crash(1);
+        assert_eq!(shrunk.crashes().len(), 1);
+        assert!(!shrunk.is_crashed(SiteId::new(1), 22));
+        let narrowed = plan.with_crash_window(0, 6, 7);
+        assert!(!narrowed.is_crashed(SiteId::new(1), 5));
+        assert!(narrowed.is_crashed(SiteId::new(1), 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_crash_window_panics() {
+        let _ = FaultPlan::new().with_crash(SiteId::new(0), 5, 5);
+    }
+
+    #[test]
+    fn crash_matrix_entries_all_crash_and_rebuild() {
+        let matrix = FaultPlan::crash_matrix(4);
+        assert!(matrix.len() >= 5);
+        for entry in &matrix {
+            assert!(
+                entry.plan.has_crashes(),
+                "{} schedules no crash",
+                entry.name
+            );
+            assert!(!entry.plan.is_loss_free());
+            assert!(
+                entry.code.contains("with_crash"),
+                "{} has no crash reproducer code",
+                entry.name
+            );
+        }
+        let names: Vec<&str> = matrix.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "crash_last_early",
+            "crash_coordinator",
+            "crash_last_twice",
+            "crash_last_drop10",
+            "crash_two_overlap",
+        ] {
+            assert!(names.contains(&expected), "matrix misses {expected}");
+        }
+        let code = crash_plan_code(&FaultPlan::new().with_drop_probability(0.25).with_crash(
+            SiteId::new(2),
+            1,
+            4,
+        ));
+        assert!(code.contains("with_drop_probability(0.25)"));
+        assert!(code.contains("with_crash(SiteId::new(2), 1, 4)"));
     }
 
     #[test]

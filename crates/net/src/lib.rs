@@ -53,7 +53,7 @@ mod sim;
 mod threaded;
 mod transport;
 
-pub use fault::{FaultPlan, LinkFault, NamedFaultPlan};
+pub use fault::{crash_plan_code, FaultPlan, LinkFault, NamedFaultPlan, SiteCrash};
 pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
 pub use metrics::{MetricKey, NetMetrics};
 pub use sim::{SimNetwork, SimNetworkConfig};

@@ -276,6 +276,17 @@ impl<P: Payload> SimNetwork<P> {
     pub fn deliver_next(&mut self) -> Option<Delivery<P>> {
         self.unpark();
         while let Some(msg) = self.queue.pop() {
+            // A message arriving while its destination is crashed dies with
+            // the destination's volatile inbox: dropped, counted as loss
+            // (unlike stalls/partitions, which only park). The clock still
+            // advances — simulated time passed while the site was down.
+            let arrives_at = self.now.max(msg.deliver_at);
+            if self.faults.is_crashed(msg.to, arrives_at) {
+                self.now = arrives_at;
+                self.metrics.note_dequeued(msg.payload.size_hint());
+                self.metrics.record_dropped(msg.class, msg.label);
+                continue;
+            }
             if self.blocked(&msg) {
                 self.parked.push(msg);
                 continue;
@@ -436,6 +447,40 @@ mod tests {
         assert_eq!(n.parked(), 2);
         n.faults_mut().heal_partition(site(0), site(1));
         assert_eq!(n.drain(|_| {}), 2);
+    }
+
+    #[test]
+    fn crashed_site_drops_arrivals_inside_the_window_only() {
+        // Window [2, 10): the first message (arrives at t=1) lands, the
+        // next two (t=2, t=3) die with the site, one sent to arrive at
+        // t=11 lands after the restart.
+        let faults = FaultPlan::new().with_crash(site(1), 2, 10);
+        let mut n: SimNetwork<TestPayload> =
+            SimNetwork::with_faults(SimNetworkConfig::default(), faults, 5);
+        n.send(site(0), site(1), TestPayload::control("early"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "early");
+        assert_eq!(n.now(), 1);
+
+        n.send(site(0), site(1), TestPayload::control("dead-1"));
+        n.send(site(0), site(1), TestPayload::control("dead-2"));
+        assert!(n.deliver_next().is_none(), "both arrivals are dropped");
+        assert_eq!(n.metrics().dropped_total(), 2);
+        assert_eq!(n.now(), 2, "simulated time passed while the site was down");
+        assert_eq!(n.parked(), 0, "crash drops, it does not park");
+
+        // A message delayed past the restart is delivered normally.
+        let late = crate::fault::LinkFault {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_delay: 9,
+        };
+        let with_delay = n.faults().clone().with_link_fault(site(0), site(1), late);
+        n.set_faults(with_delay);
+        n.send(site(0), site(1), TestPayload::control("after-restart"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "after-restart");
+        assert!(d.at >= 10);
     }
 
     #[test]

@@ -12,7 +12,12 @@ use ggd_types::{GlobalAddr, SiteId, VertexId};
 /// workloads and experiments run unchanged against each of them.
 pub trait Collector {
     /// The GGD control-message type exchanged between engines of this kind.
-    type Msg: Payload + Clone + std::fmt::Debug;
+    /// Messages must be durable ([`ggd_store::Encode`]/[`Decode`]) — the
+    /// write-ahead log records every control message a site consumes so
+    /// crash recovery can replay it.
+    ///
+    /// [`Decode`]: ggd_store::Decode
+    type Msg: Payload + Clone + std::fmt::Debug + ggd_store::Encode + ggd_store::Decode;
 
     /// Short, stable name used in experiment tables (e.g. `"causal"`).
     fn name(&self) -> &'static str;
@@ -48,6 +53,26 @@ pub trait Collector {
     /// baseline's report body counts reference transfers). The runtime
     /// skips empty-delta syncs for everyone else.
     fn needs_every_sync(&self) -> bool {
+        false
+    }
+
+    /// Encodes the collector's complete state for a checkpoint, or `None`
+    /// when this collector cannot checkpoint — its site's WAL is then never
+    /// truncated and crash recovery replays the full log from genesis
+    /// (correct for any deterministic collector, merely slower). The method
+    /// takes `&mut self` so checkpoint-time maintenance (the causal
+    /// engine's [`DkLog`](ggd_causal::DkLog) compaction against its stable
+    /// cutoff) can run as part of producing the image.
+    fn checkpoint_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores the collector from bytes produced by
+    /// [`Collector::checkpoint_state`]. Returns `false` when the bytes are
+    /// not restorable (wrong collector kind or corrupt) — recovery then
+    /// fails loudly rather than running with half a state.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
         false
     }
 
@@ -110,6 +135,25 @@ impl Collector for CausalCollector {
 
     fn apply_delta(&mut self, delta: &EdgeDelta, _snapshot: &ReachabilitySnapshot) {
         self.engine.apply_delta(delta);
+    }
+
+    fn checkpoint_state(&mut self) -> Option<Vec<u8>> {
+        // Checkpoint-time maintenance: compact the log against the stable
+        // cutoff (vertices whose garbage verdict is final) so long-running
+        // sites do not accumulate one DK row per object that ever crossed
+        // a site boundary.
+        self.engine.compact_detected();
+        Some(ggd_store::encode_to_vec(&self.engine.checkpoint()))
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        match ggd_store::decode_from_slice::<ggd_causal::EngineCheckpoint>(bytes) {
+            Ok(checkpoint) => {
+                self.engine = CausalEngine::restore(checkpoint);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
@@ -277,7 +321,7 @@ impl TracingCollector {
 
     /// Returns a factory closure suitable for `Cluster::new` /
     /// `Cluster::from_scenario`.
-    pub fn factory(total_sites: u32) -> impl Fn(SiteId) -> TracingCollector {
+    pub fn factory(total_sites: u32) -> impl Fn(SiteId) -> TracingCollector + Clone {
         move |site| TracingCollector::new(site, total_sites)
     }
 

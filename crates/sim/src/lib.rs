@@ -41,3 +41,6 @@ pub use collector::{
 pub use oracle::Oracle;
 pub use report::RunReport;
 pub use runtime::{SiteRuntime, SiteTick, SyncMode};
+// Durability configuration re-exported so cluster users need not depend on
+// ggd-store directly.
+pub use ggd_store::{DurabilityConfig, DurabilityMode};

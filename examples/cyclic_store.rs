@@ -8,7 +8,7 @@
 
 use ggd::prelude::*;
 
-fn run<C: Collector>(name: &str, factory: impl Fn(SiteId) -> C) {
+fn run<C: Collector>(name: &str, factory: impl Fn(SiteId) -> C + 'static) {
     let scenario = workloads::ring(6);
     let mut cluster = Cluster::from_scenario(&scenario, ClusterConfig::default(), factory);
     let report = cluster.run(&scenario);

@@ -45,6 +45,7 @@ pub use ggd_heap as heap;
 pub use ggd_mutator as mutator;
 pub use ggd_net as net;
 pub use ggd_sim as sim;
+pub use ggd_store as store;
 pub use ggd_types as types;
 
 /// The most commonly used items, for glob import.
@@ -59,9 +60,10 @@ pub mod prelude {
         ThreadedNetwork, Transport,
     };
     pub use ggd_sim::{
-        CausalCollector, Cluster, ClusterConfig, Collector, Oracle, RefListingCollector, RunReport,
-        SiteRuntime, TracingCollector,
+        CausalCollector, Cluster, ClusterConfig, Collector, DurabilityConfig, DurabilityMode,
+        Oracle, RefListingCollector, RunReport, SiteRuntime, TracingCollector,
     };
+    pub use ggd_store::{SiteStore, WalRecord};
     pub use ggd_types::{
         DependencyVector, EventIndex, GlobalAddr, ObjectId, SiteId, Timestamp, VertexId,
     };

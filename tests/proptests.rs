@@ -21,6 +21,7 @@ fn triple_for(seed: u64, entry: NamedFaultPlan) -> Triple {
         fault: entry,
         jitter: seed % 3,
         seed: seed.wrapping_mul(31),
+        durability: DurabilityConfig::off(),
         cyclic: built.cyclic,
     }
 }
@@ -79,6 +80,32 @@ fn pinned_corpus_causal_reclaims_everything_tracing_reclaims_on_loss_free_plans(
             }
             let name = entry.name.clone();
             let outcome = run_triple(&triple_for(seed, entry), RunMode::Standard);
+            assert!(
+                outcome.failures.is_empty(),
+                "seed {seed}/{name}: {:?}",
+                outcome.failures
+            );
+        }
+    }
+}
+
+/// "No violations under any *crash* plan": every pinned scenario, under
+/// every entry of the crash fault matrix, runs on the in-memory durable
+/// medium — sites go down mid-run, their queued messages die with them, and
+/// they come back by checkpoint-load + WAL replay. Safety must hold for
+/// both collectors that run on lossy plans, and the differential runner's
+/// replay-determinism check must stay quiet.
+#[test]
+fn pinned_corpus_has_no_violations_under_any_crash_plan() {
+    for &seed in PINNED_SAFETY_SEEDS {
+        let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+        for entry in FaultPlan::crash_matrix(spec.sites) {
+            let name = entry.name.clone();
+            let mut triple = triple_for(seed, entry);
+            triple.durability = DurabilityConfig::memory().with_checkpoint_every(16);
+            let outcome = run_triple(&triple, RunMode::Standard);
+            assert_eq!(outcome.causal.safety_violations, 0, "seed {seed}/{name}");
+            assert_eq!(outcome.tracing.safety_violations, 0, "seed {seed}/{name}");
             assert!(
                 outcome.failures.is_empty(),
                 "seed {seed}/{name}: {:?}",

@@ -81,3 +81,56 @@ fn threaded_churn_stress_across_all_collectors() {
         "mutator traffic diverged across collectors: {mutator_counts:?}"
     );
 }
+
+#[test]
+#[ignore = "threaded crash stress run; opt in with `cargo test --test stress -- --ignored`"]
+fn threaded_churn_survives_killing_and_restarting_two_sites() {
+    // Churn over 8 sites on real OS threads while two of them are killed
+    // mid-run and restarted from their durable stores (checkpoint-load +
+    // WAL replay). Crash windows are in the threaded transport's logical
+    // time (delivered messages), so exactly *which* messages die with the
+    // crashed inboxes is scheduler-dependent — which is the point: whatever
+    // the interleaving, safety must hold, both victims must come back, and
+    // the transport must tear down without leaking relay threads.
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let scenario = workloads::random_churn(8, 240, 23);
+        let config = ClusterConfig {
+            faults: FaultPlan::new()
+                .with_crash(SiteId::new(6), 10, 120)
+                .with_crash(SiteId::new(7), 40, 200),
+            durability: DurabilityConfig::memory().with_checkpoint_every(16),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::threaded_from_scenario(&scenario, config, CausalCollector::new);
+        let report = cluster.run(&scenario);
+        let recoveries = cluster.recoveries();
+        let up: Vec<bool> = (0..8).map(|i| cluster.site_is_up(SiteId::new(i))).collect();
+        let stats = cluster.store_stats();
+        let _ = tx.send((report, recoveries, up, stats));
+    });
+
+    let (report, recoveries, up, stats) = match rx.recv_timeout(HARD_TIMEOUT) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("crash stress run exceeded the hard timeout — recovery or teardown hangs")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("crash stress worker panicked before reporting; see its output above")
+        }
+    };
+
+    assert_eq!(
+        report.safety_violations, 0,
+        "a crash/restart cycle must never make the causal collector unsafe"
+    );
+    assert!(up.iter().all(|&b| b), "every site must be up at end of run");
+    assert!(
+        recoveries >= 2,
+        "both scheduled crashes must have fired and recovered (got {recoveries})"
+    );
+    assert!(
+        stats.records_replayed > 0,
+        "recovery must have replayed WAL records"
+    );
+}
