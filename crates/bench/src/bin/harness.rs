@@ -72,6 +72,16 @@ fn main() {
             bench::render("E8 — fixed garbage, growing live population", &rows)
         );
     }
+    if wanted(&args, "e9") {
+        let rows = bench::experiment_parallel_scaling(&[1, 2, 4]);
+        println!(
+            "{}",
+            bench::render(
+                "E9 — parallel drive loop: outcome and wire cost per worker count",
+                &rows
+            )
+        );
+    }
     if wanted(&args, "baseline") {
         let entries = bench::baseline();
         let json = bench::baseline_json(&entries);

@@ -7,20 +7,23 @@
 //! cargo run --release -p ggd-bench --bin perf -- --no-compare # skip the full-rescan baseline
 //! ```
 //!
-//! `--check FILE` parses FILE against the `ggd-bench-perf/v2` schema and
+//! `--check FILE` parses FILE against the `ggd-bench-perf/v3` schema and
 //! fails (exit 1) when any fresh row is more than 2x slower than the
-//! committed row of the same `(name, transport, mode)` — the CI
+//! committed row of the same `(name, transport, mode, workers)` — the CI
 //! regression gate. Every run also executes the recovery matrix (WAL
 //! append overhead + full-cluster replay, `mode: "wal"` / `"replay"`);
 //! `--recovery-only` runs just that group and writes
-//! `BENCH_perf_recovery.json`.
+//! `BENCH_perf_recovery.json`. On hosts with ≥ 2 CPUs, `--check` also
+//! enforces the parallel scaling sanity gate (2-worker churn ≥ 1.2x
+//! faster than 1-worker); on single-core hosts the gate is skipped with a
+//! loud notice, since serialized workers cannot scale.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ggd_bench::perf::{
-    check_regression, check_speedup, perf_json, perf_matrix, recovery_matrix, run_matrix,
-    run_recovery_matrix, validate_perf_json,
+    check_parallel_scaling, check_regression, check_speedup, perf_json, perf_matrix,
+    recovery_matrix, run_matrix, run_recovery_matrix, validate_perf_json,
 };
 
 /// A [`System`]-backed allocator that counts allocations and bytes, so the
@@ -92,13 +95,17 @@ fn main() {
 
     let progress = |entry: &ggd_bench::perf::PerfEntry| {
         eprintln!(
-            "  {:<24} {:<9} {:<6} run={:>9.1}ms ops/s={:>10.0} control={:>8} peak_queued={:>9}B allocs={}",
+            "  {:<24} {:<9} {:<6} w={:<2} run={:>9.1}ms ops/s={:>10.0} control={:>8} ctl_bytes={:>9} peak_queued={:>9}B allocs={}",
             entry.name,
             entry.transport,
             entry.mode,
+            entry.workers.map_or_else(|| "-".into(), |w| w.to_string()),
             entry.run_ms,
             entry.ops_per_sec,
             entry.control_msgs,
+            entry
+                .control_bytes
+                .map_or_else(|| "-".into(), |b| b.to_string()),
             entry.peak_queued_bytes,
             entry.allocations,
         );
@@ -172,6 +179,26 @@ fn main() {
                     eprintln!("PERF REGRESSION (speedup): {err}");
                     std::process::exit(1);
                 }
+            }
+        }
+        // Parallel scaling sanity: only meaningful where the workers can
+        // actually run in parallel. On a single-core host the OS
+        // serializes them and the ratio is ~1.0 by construction.
+        if !recovery_only {
+            let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            if cpus >= 2 {
+                match check_parallel_scaling(&entries, 1.2) {
+                    Ok(()) => eprintln!("parallel scaling check (>=1.2x at 2 workers): ok"),
+                    Err(err) => {
+                        eprintln!("PERF REGRESSION (parallel scaling): {err}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                eprintln!(
+                    "parallel scaling check SKIPPED: only {cpus} CPU available — \
+                     workers serialize, the >=1.2x gate cannot be measured here"
+                );
             }
         }
     }

@@ -16,7 +16,9 @@ use std::time::Instant;
 
 use ggd_mutator::generator::{build_perf_scenario, PerfSpec};
 use ggd_mutator::{Scenario, Step};
-use ggd_sim::{CausalCollector, Cluster, ClusterConfig, DurabilityConfig, RunReport, SyncMode};
+use ggd_sim::{
+    CausalCollector, Cluster, ClusterConfig, DurabilityConfig, ParallelCluster, RunReport, SyncMode,
+};
 use ggd_types::SiteId;
 
 use crate::json::{self, JsonValue};
@@ -35,6 +37,9 @@ pub struct PerfCase {
     /// Also run the retained full-rescan pipeline for a measured speedup
     /// (skipped matrix-wide by `--no-compare`).
     pub compare: bool,
+    /// Worker counts for the parallel driver: one `transport: "parallel"`
+    /// row per count (empty slice = sequential transports only).
+    pub workers: &'static [u32],
 }
 
 /// The scenario matrix. `smoke` selects the reduced CI matrix (16 sites /
@@ -48,6 +53,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
         seed: 7,
         threaded: true,
         compare: true,
+        workers: &[1, 2],
     };
     if smoke {
         return vec![smoke_case];
@@ -60,6 +66,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             seed: 7,
             threaded: true,
             compare: true,
+            workers: &[],
         },
         PerfCase {
             name: "island_hub_mix_20k",
@@ -73,6 +80,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             seed: 11,
             threaded: true,
             compare: true,
+            workers: &[],
         },
         PerfCase {
             name: "wide_256_sites_50k",
@@ -80,6 +88,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             seed: 13,
             threaded: false,
             compare: true,
+            workers: &[],
         },
         PerfCase {
             name: "churn_100k",
@@ -87,6 +96,9 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             seed: 17,
             threaded: false,
             compare: true,
+            // The scaling curve committed to BENCH_perf.json (see
+            // EXPERIMENTS.md, "Parallel driver scaling").
+            workers: &[1, 2, 4, 8],
         },
     ]
 }
@@ -130,6 +142,11 @@ pub struct PerfEntry {
     pub verdicts: u64,
     /// `full.run_ms / delta.run_ms`, set on delta rows of compared cases.
     pub speedup_vs_full: Option<f64>,
+    /// Worker threads, set on `transport: "parallel"` rows only (schema v3;
+    /// absent on rows written by older suites).
+    pub workers: Option<u32>,
+    /// Control-plane wire bytes actually sent (encoded frames; schema v3).
+    pub control_bytes: Option<u64>,
 }
 
 /// Counting-allocator probe: returns cumulative `(allocations, bytes)`.
@@ -194,6 +211,8 @@ fn entry_from(
         residual: report.residual_garbage,
         verdicts: report.verdicts,
         speedup_vs_full: None,
+        workers: None,
+        control_bytes: None,
     }
 }
 
@@ -264,6 +283,45 @@ fn run_threaded(
     )
 }
 
+/// Runs one case on the parallel worker-per-shard driver (delta pipeline)
+/// with `workers` threads. The row carries `workers` and the real encoded
+/// control-byte volume, so the committed scaling curve measures both wall
+/// clock and wire cost.
+fn run_parallel(
+    case: &PerfCase,
+    scenario: &Scenario,
+    build_ms: f64,
+    workers: u32,
+    probe: AllocProbe<'_>,
+) -> PerfEntry {
+    let ops = op_count(scenario);
+    let config = ClusterConfig {
+        workers,
+        ..perf_config(SyncMode::Incremental)
+    };
+    let (alloc_before, bytes_before) = probe();
+    let start = Instant::now();
+    let (report, _cluster) = ParallelCluster::run_seeded(scenario, config, CausalCollector::new);
+    let run_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let (alloc_after, bytes_after) = probe();
+    let mut entry = entry_from(
+        case,
+        "parallel",
+        "delta",
+        Measured {
+            ops,
+            build_ms,
+            run_ms,
+            allocations: alloc_after.saturating_sub(alloc_before),
+            alloc_bytes: bytes_after.saturating_sub(bytes_before),
+        },
+        &report,
+    );
+    entry.workers = Some(workers);
+    entry.control_bytes = Some(report.net.control_bytes_sent());
+    entry
+}
+
 /// Runs the whole matrix. With `compare`, each sim case additionally runs
 /// the retained full-rescan pipeline and the delta row carries the measured
 /// speedup. `progress` receives one line per finished row.
@@ -295,6 +353,12 @@ pub fn run_matrix(
             let threaded = run_threaded(case, &scenario, build_ms, probe);
             progress(&threaded);
             entries.push(threaded);
+        }
+
+        for &workers in case.workers {
+            let parallel = run_parallel(case, &scenario, build_ms, workers, probe);
+            progress(&parallel);
+            entries.push(parallel);
         }
     }
     entries
@@ -365,6 +429,7 @@ pub fn run_recovery_matrix(
             seed: case.seed,
             threaded: false,
             compare: false,
+            workers: &[],
         };
 
         let config = ClusterConfig {
@@ -427,9 +492,11 @@ pub fn run_recovery_matrix(
 }
 
 /// The `BENCH_perf.json` schema identifier. `v2` added the recovery rows
-/// (`mode: "wal"` / `mode: "replay"`); the entry shape is unchanged, so v1
-/// rows are carried over byte-identically.
-pub const PERF_SCHEMA: &str = "ggd-bench-perf/v2";
+/// (`mode: "wal"` / `mode: "replay"`); `v3` adds the parallel-driver rows
+/// (`transport: "parallel"`) with the optional `workers` and
+/// `control_bytes` fields, emitted only on rows that carry them — v2 rows
+/// are carried over byte-identically.
+pub const PERF_SCHEMA: &str = "ggd-bench-perf/v3";
 
 /// Renders entries as the `BENCH_perf.json` document.
 pub fn perf_json(entries: &[PerfEntry]) -> String {
@@ -439,13 +506,23 @@ pub fn perf_json(entries: &[PerfEntry]) -> String {
             Some(s) => format!("{s:.2}"),
             None => "null".to_owned(),
         };
+        // v3 optional fields are emitted only when present, keeping rows
+        // produced by older suites (and the carried-over v2 rows of the
+        // committed file) byte-identical.
+        let mut optional = String::new();
+        if let Some(workers) = e.workers {
+            let _ = write!(optional, ", \"workers\": {workers}");
+        }
+        if let Some(control_bytes) = e.control_bytes {
+            let _ = write!(optional, ", \"control_bytes\": {control_bytes}");
+        }
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"transport\": \"{}\", \"mode\": \"{}\", \"sites\": {}, \
              \"objects\": {}, \"ops\": {}, \"build_ms\": {:.1}, \"run_ms\": {:.1}, \
              \"ops_per_sec\": {:.0}, \"control_msgs\": {}, \"mutator_msgs\": {}, \
              \"peak_queued_bytes\": {}, \"allocations\": {}, \"alloc_bytes\": {}, \
-             \"reclaimed\": {}, \"residual\": {}, \"verdicts\": {}, \"speedup_vs_full\": {}}}{}",
+             \"reclaimed\": {}, \"residual\": {}, \"verdicts\": {}, \"speedup_vs_full\": {}{}}}{}",
             e.name,
             e.transport,
             e.mode,
@@ -464,6 +541,7 @@ pub fn perf_json(entries: &[PerfEntry]) -> String {
             e.residual,
             e.verdicts,
             speedup,
+            optional,
             if i + 1 < entries.len() { "," } else { "" },
         );
     }
@@ -525,6 +603,18 @@ pub fn validate_perf_json(text: &str) -> Result<JsonValue, String> {
                 ))
             }
         }
+        // v3 optional fields: absent on rows carried over from older
+        // suites, numeric when present.
+        for key in ["workers", "control_bytes"] {
+            match entry.get(key) {
+                None | Some(JsonValue::Number(_)) => {}
+                _ => {
+                    return Err(format!(
+                        "entry #{i}: \"{key}\" must be numeric when present"
+                    ))
+                }
+            }
+        }
     }
     Ok(doc)
 }
@@ -553,6 +643,10 @@ pub fn check_regression(
             e.get("name").and_then(JsonValue::as_str) == Some(row.name.as_str())
                 && e.get("transport").and_then(JsonValue::as_str) == Some(row.transport.as_str())
                 && e.get("mode").and_then(JsonValue::as_str) == Some(row.mode.as_str())
+                // Parallel rows at different worker counts are distinct
+                // baselines; sequential rows carry no `workers` field.
+                && e.get("workers").and_then(JsonValue::as_u64)
+                    == row.workers.map(u64::from)
         });
         let Some(baseline) = baseline else {
             continue; // new row: nothing to regress against
@@ -607,6 +701,48 @@ pub fn check_speedup(entries: &[PerfEntry], min: f64) -> Result<(), String> {
     Ok(())
 }
 
+/// Verifies the parallel driver's scaling sanity on this machine: for every
+/// case that produced both a 1-worker and a 2-worker `parallel` row, the
+/// 2-worker run must be at least `min` times faster. Only meaningful on
+/// hosts with ≥ 2 CPUs — the caller gates on
+/// `std::thread::available_parallelism()` (a 1-core host serializes the
+/// workers, making the ratio ~1.0 by construction).
+///
+/// # Errors
+///
+/// Returns a description of the first case below `min`, or of a run with no
+/// 1-vs-2-worker pair at all.
+pub fn check_parallel_scaling(entries: &[PerfEntry], min: f64) -> Result<(), String> {
+    let mut checked = 0;
+    for one in entries {
+        if one.workers != Some(1) {
+            continue;
+        }
+        let Some(two) = entries
+            .iter()
+            .find(|e| e.name == one.name && e.workers == Some(2))
+        else {
+            continue;
+        };
+        checked += 1;
+        if two.run_ms <= 0.0 {
+            continue;
+        }
+        let ratio = one.run_ms / two.run_ms;
+        if ratio < min {
+            return Err(format!(
+                "{}: 2-worker run is only {ratio:.2}x faster than 1-worker \
+                 ({:.1}ms vs {:.1}ms), below the {min}x gate",
+                one.name, two.run_ms, one.run_ms
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err("no case produced both 1- and 2-worker parallel rows".to_owned());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +760,7 @@ mod tests {
             .map(|mut c| {
                 c.spec = PerfSpec::mix(8, 400, 200);
                 c.threaded = false;
+                c.workers = &[];
                 c
             })
             .collect();
@@ -654,6 +791,85 @@ mod tests {
 
         let mut slow = entries.clone();
         slow[0].run_ms = slow[0].run_ms * 100.0 + 1000.0;
+        assert!(check_regression(&doc, &slow, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn parallel_rows_round_trip_with_workers_and_control_bytes() {
+        let cases = vec![PerfCase {
+            name: "smoke_churn_2k",
+            spec: PerfSpec::mix(8, 400, 200),
+            seed: 7,
+            threaded: false,
+            compare: false,
+            workers: &[1, 2],
+        }];
+        let entries = run_matrix(&cases, false, &probe, |_| {});
+        assert_eq!(entries.len(), 3, "delta + two parallel rows");
+        let parallel: Vec<&PerfEntry> = entries
+            .iter()
+            .filter(|e| e.transport == "parallel")
+            .collect();
+        assert_eq!(parallel.len(), 2);
+        for row in &parallel {
+            assert!(row.workers.is_some());
+            assert!(
+                row.control_bytes.unwrap() > 0,
+                "parallel rows measure real encoded control bytes"
+            );
+            assert!(row.peak_queued_bytes > 0);
+        }
+        // Same scenario, same collector: the reclaim outcome must agree
+        // with the sequential row regardless of the driver.
+        let delta = entries.iter().find(|e| e.transport == "sim").unwrap();
+        assert_eq!(parallel[0].reclaimed, delta.reclaimed);
+        assert_eq!(parallel[0].residual, delta.residual);
+
+        let text = perf_json(&entries);
+        assert!(text.contains("\"workers\": 1") && text.contains("\"workers\": 2"));
+        assert!(text.contains("\"control_bytes\": "));
+        // The sequential row keeps the pre-v3 shape byte-for-byte.
+        let delta_line = text
+            .lines()
+            .find(|l| l.contains("\"transport\": \"sim\""))
+            .unwrap();
+        assert!(!delta_line.contains("workers") && !delta_line.contains("control_bytes"));
+        let doc = validate_perf_json(&text).expect("schema-valid");
+        check_regression(&doc, &entries, 2.0, 0.0).expect("identical rows cannot regress");
+
+        // Scaling check plumbing (the CI gate threshold only applies on
+        // multi-core hosts; here we exercise pass/fail mechanics).
+        check_parallel_scaling(&entries, 0.0).expect("pair present");
+        assert!(
+            check_parallel_scaling(&entries, 1e9).is_err(),
+            "absurd gate must trip"
+        );
+        assert!(
+            check_parallel_scaling(&entries[..1], 1.0).is_err(),
+            "no pair is an error"
+        );
+    }
+
+    #[test]
+    fn regression_keys_distinguish_worker_counts() {
+        let cases = vec![PerfCase {
+            name: "smoke_churn_2k",
+            spec: PerfSpec::mix(8, 400, 200),
+            seed: 7,
+            threaded: false,
+            compare: false,
+            workers: &[1, 2],
+        }];
+        let entries = run_matrix(&cases, false, &probe, |_| {});
+        let doc = validate_perf_json(&perf_json(&entries)).unwrap();
+        // Slowing only the 2-worker row must be caught even though the
+        // 1-worker row of the same (name, transport, mode) is unchanged.
+        let mut slow = entries.clone();
+        let two = slow
+            .iter_mut()
+            .find(|e| e.workers == Some(2))
+            .expect("2-worker row");
+        two.run_ms = two.run_ms * 100.0 + 1000.0;
         assert!(check_regression(&doc, &slow, 2.0, 0.0).is_err());
     }
 

@@ -1,0 +1,121 @@
+//! Differential equivalence of the two drive loops: the parallel
+//! worker-per-shard driver must reclaim exactly the objects the sequential
+//! deterministic driver reclaims, and leave exactly the same residual
+//! garbage, on the explorer's pinned reliable-plan corpus, under every
+//! collector.
+//!
+//! Reliable ([`FaultPlan::is_reliable`]) is the right boundary: the
+//! parallel driver exchanges frames over reliable mailboxes, so it can
+//! only be compared against plans that never lose *or duplicate* a
+//! message — a duplicated reference transfer redelivered after a later
+//! unlink genuinely resurrects an edge, which is a semantic difference,
+//! not a driver bug. Stalled sites are likewise excluded: a stall parks
+//! messages past the end of the settle window, starving collectors of
+//! exactly the notices the parallel mailboxes (which never stall) would
+//! deliver. Delay and reordering jitter stay in the sequential leg: the
+//! settling guarantees claim those cannot change the outcome, so the
+//! cross-driver comparison doubles as an end-to-end check of both.
+
+use ggd_explore::corpus_triple;
+use ggd_mutator::generator::SegmentWeights;
+use ggd_net::FaultPlan;
+use ggd_sim::{
+    CausalCollector, Cluster, ClusterConfig, ParallelCluster, RefListingCollector, TracingCollector,
+};
+use ggd_types::SiteId;
+
+/// True when `plan` has semantics the parallel driver can reproduce:
+/// reliable (no loss, duplication, partitions or crashes) and no stalled
+/// sites.
+fn comparable(plan: &FaultPlan, sites: u32) -> bool {
+    plan.is_reliable() && !(0..sites).any(|i| plan.is_stalled(SiteId::new(i)))
+}
+
+/// Runs one collector through the sequential driver and the parallel driver
+/// at the given worker counts, asserting reclaimed- and residual-set
+/// equality.
+macro_rules! assert_drivers_agree {
+    ($index:expr, $scenario:expr, $config:expr, $factory:expr) => {{
+        let (seq_report, seq) = Cluster::run_seeded($scenario, $config.clone(), $factory);
+        for workers in [1u32, 3] {
+            let parallel_config = ClusterConfig {
+                workers,
+                // No consistent global heap view exists while workers run;
+                // the equality asserted below is the safety check instead.
+                safety_oracle: false,
+                ..$config.clone()
+            };
+            let (report, cluster) =
+                ParallelCluster::run_seeded($scenario, parallel_config, $factory);
+            assert_eq!(
+                seq.reclaimed_addrs(),
+                cluster.reclaimed_addrs(),
+                "triple #{}: reclaimed sets diverge ({}, workers={workers})",
+                $index,
+                seq_report.collector
+            );
+            assert_eq!(
+                seq.garbage_addrs(),
+                cluster.garbage_addrs(),
+                "triple #{}: residual garbage diverges ({}, workers={workers})",
+                $index,
+                seq_report.collector
+            );
+            assert_eq!(
+                seq_report.allocated, report.allocated,
+                "triple #{}: allocation counts diverge ({}, workers={workers})",
+                $index, seq_report.collector
+            );
+            assert_eq!(
+                seq_report.reclaimed, report.reclaimed,
+                "triple #{}: reclaim counts diverge ({}, workers={workers})",
+                $index, seq_report.collector
+            );
+        }
+    }};
+}
+
+#[test]
+fn parallel_driver_matches_sequential_on_the_reliable_corpus() {
+    let mut compared = 0u32;
+    for index in 0..24u32 {
+        let (_spec, triple) = corpus_triple(7, index, &SegmentWeights::default());
+        let scenario = &triple.scenario;
+        let sites = scenario.site_count();
+        if !comparable(&triple.fault.plan, sites) {
+            continue;
+        }
+        let config = triple.config();
+        compared += 1;
+
+        assert_drivers_agree!(index, scenario, config, CausalCollector::new);
+        assert_drivers_agree!(index, scenario, config, TracingCollector::factory(sites));
+        assert_drivers_agree!(index, scenario, config, RefListingCollector::new);
+    }
+    assert!(
+        compared >= 4,
+        "the pinned corpus must keep a meaningful reliable slice (got {compared})"
+    );
+}
+
+#[test]
+fn parallel_driver_matches_sequential_under_churn() {
+    // A churn-heavy seeded sweep: the workload with the densest inter-site
+    // reference turnover, i.e. the most frames racing between workers.
+    let weights = SegmentWeights {
+        list: 1,
+        ring: 1,
+        island: 1,
+        hub: 1,
+        churn: 6,
+    };
+    for index in 0..8u32 {
+        let (_spec, triple) = corpus_triple(1312, index, &weights);
+        let scenario = &triple.scenario;
+        if !comparable(&triple.fault.plan, scenario.site_count()) {
+            continue;
+        }
+        let config = triple.config();
+        assert_drivers_agree!(index, scenario, config, CausalCollector::new);
+    }
+}

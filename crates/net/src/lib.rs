@@ -15,9 +15,11 @@
 //!   and stalled sites. Experiments E3–E8 run on it so that message
 //!   complexity can be counted exactly and fault scenarios are reproducible.
 //! * [`ThreadedTransport`] — a crossbeam-channel transport for running the
-//!   same site logic on real OS threads. [`ThreadedNetwork`] adapts it to
-//!   the [`Transport`] trait by giving each site a relay thread (used by the
-//!   `lossy_network` example and the threaded integration tests).
+//!   same site logic on real OS threads. [`ThreadedNetwork`] implements the
+//!   [`Transport`] trait over per-site relay threads whose channels carry
+//!   *encoded wire frames* ([`Frame`], length-prefixed bytes produced via
+//!   [`WireCodec`]) rather than payload values, so its byte metrics report
+//!   real serialized sizes (used by the threaded integration tests).
 //! * [`NetMetrics`] — per-class and per-label counters (messages and bytes)
 //!   from which every experiment table derives its "messages" columns.
 //!
@@ -47,6 +49,7 @@
 //! ```
 
 mod fault;
+mod frame;
 mod message;
 mod metrics;
 mod sim;
@@ -54,6 +57,7 @@ mod threaded;
 mod transport;
 
 pub use fault::{crash_plan_code, FaultPlan, LinkFault, NamedFaultPlan, SiteCrash};
+pub use frame::{read_varint, write_varint, Frame, FrameError, WireCodec};
 pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
 pub use metrics::{MetricKey, NetMetrics};
 pub use sim::{SimNetwork, SimNetworkConfig};

@@ -110,7 +110,7 @@ pub struct Delivery<P> {
 }
 
 #[cfg(test)]
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct TestPayload {
     pub class: MessageClass,
     pub label: &'static str,
@@ -146,6 +146,63 @@ impl Payload for TestPayload {
     }
     fn size_hint(&self) -> usize {
         self.bytes
+    }
+}
+
+/// Labels the `TestPayload` wire codec can round-trip: decode has to map an
+/// index back to a `&'static str`, so the tests register theirs here.
+#[cfg(test)]
+const TEST_LABELS: &[&str] = &[
+    "a",
+    "b",
+    "x",
+    "y",
+    "z",
+    "m",
+    "ping",
+    "pong",
+    "in-flight",
+    "to-the-dead",
+    "to-the-living",
+    "after-restart",
+];
+
+#[cfg(test)]
+impl crate::frame::WireCodec for TestPayload {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(match self.class {
+            MessageClass::Mutator => 0,
+            MessageClass::Control => 1,
+        });
+        let index = TEST_LABELS
+            .iter()
+            .position(|l| *l == self.label)
+            .expect("test label registered in TEST_LABELS") as u8;
+        out.push(index);
+        crate::frame::write_varint(out, self.bytes as u64);
+    }
+
+    fn decode_body(bytes: &[u8]) -> Result<Self, crate::frame::FrameError> {
+        use crate::frame::FrameError;
+        let (&class, rest) = bytes.split_first().ok_or(FrameError::Malformed)?;
+        let (&index, rest) = rest.split_first().ok_or(FrameError::Malformed)?;
+        let class = match class {
+            0 => MessageClass::Mutator,
+            1 => MessageClass::Control,
+            _ => return Err(FrameError::Malformed),
+        };
+        let label = *TEST_LABELS
+            .get(index as usize)
+            .ok_or(FrameError::Malformed)?;
+        let (size, used) = crate::frame::read_varint(rest).map_err(|_| FrameError::Malformed)?;
+        if used != rest.len() {
+            return Err(FrameError::TrailingBytes);
+        }
+        Ok(TestPayload {
+            class,
+            label,
+            bytes: size as usize,
+        })
     }
 }
 

@@ -166,6 +166,34 @@ impl NetMetrics {
         self.sent_in_class(MessageClass::Mutator)
     }
 
+    /// Bytes accepted for sending in a given class.
+    pub fn bytes_in_class(&self, class: MessageClass) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|(k, _)| k.class == class)
+            .map(|(_, b)| b.bytes_sent)
+            .sum()
+    }
+
+    /// Control (collector overhead) bytes sent. On framed transports this is
+    /// real encoded wire bytes; the simulated network reports size hints.
+    pub fn control_bytes_sent(&self) -> u64 {
+        self.bytes_in_class(MessageClass::Control)
+    }
+
+    /// Mutator (application) bytes sent.
+    pub fn mutator_bytes_sent(&self) -> u64 {
+        self.bytes_in_class(MessageClass::Mutator)
+    }
+
+    /// Raises the queue high-water mark to at least `peak`. Transports that
+    /// track queue depth with shared atomic counters (the parallel driver's
+    /// per-worker mailboxes) fold their global peak into a merged metrics
+    /// table through this.
+    pub fn note_peak_queued(&mut self, peak: u64) {
+        self.peak_queued_bytes = self.peak_queued_bytes.max(peak);
+    }
+
     /// Messages sent under a specific label.
     pub fn sent_with_label(&self, label: &str) -> u64 {
         self.buckets

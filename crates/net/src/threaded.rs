@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use ggd_types::SiteId;
 
 use crate::fault::FaultPlan;
+use crate::frame::{Frame, WireCodec};
 use crate::message::{Delivery, Envelope, MessageId, Payload};
 use crate::metrics::NetMetrics;
 use crate::transport::Transport;
@@ -222,11 +223,27 @@ impl<P: Payload> ThreadedReceiver<P> {
 /// thread died, which would be a bug.
 const POLL_DEADLINE: Duration = Duration::from_secs(5);
 
-/// A [`Transport`] adapter running [`ThreadedTransport`] endpoints on real
-/// OS threads.
+/// One message on the threaded wire: addressing plus the encoded [`Frame`].
+/// This — not the payload value — is what crosses the thread boundaries, so
+/// every byte counter on this transport measures real serialized cost.
+#[derive(Debug)]
+struct FrameEnvelope {
+    from: SiteId,
+    to: SiteId,
+    frame: Frame,
+}
+
+/// A [`Transport`] adapter moving *encoded wire frames* across real OS
+/// threads.
+///
+/// Payloads are encoded into length-prefixed [`Frame`]s at `send` (via
+/// [`WireCodec`]) and decoded back at the receiving mailbox in `poll`; the
+/// channels never carry payload values, only bytes plus metrics metadata.
+/// `peak_queued_bytes` and the per-class byte counters therefore report the
+/// actual serialized sizes a deployment would put on a network.
 ///
 /// One relay thread per site owns that site's channel inbox and forwards
-/// every arriving envelope into a shared delivery queue, so each inter-site
+/// every arriving frame into a shared delivery queue, so each inter-site
 /// message genuinely crosses two thread boundaries (driver → site relay →
 /// driver). Delivery interleaving across sites is scheduler-dependent —
 /// exactly the asynchrony the paper's algorithm must tolerate — while
@@ -234,9 +251,9 @@ const POLL_DEADLINE: Duration = Duration::from_secs(5);
 ///
 /// `now()` is a logical clock counting delivered messages.
 #[derive(Debug)]
-pub struct ThreadedNetwork<P: Payload + Send + 'static> {
-    senders: BTreeMap<SiteId, ThreadedSender<P>>,
-    inbox: Receiver<Envelope<P>>,
+pub struct ThreadedNetwork<P: WireCodec + 'static> {
+    senders: BTreeMap<SiteId, Sender<FrameEnvelope>>,
+    inbox: Receiver<FrameEnvelope>,
     /// Messages accepted but not yet popped from the inbox. Only the driver
     /// thread touches this (relays never see it), so a plain counter is
     /// enough — the channels provide the cross-thread synchronization.
@@ -250,24 +267,34 @@ pub struct ThreadedNetwork<P: Payload + Send + 'static> {
     /// is crashed at the current logical time are dropped, counting as
     /// loss — same semantics as the simulated network.
     faults: FaultPlan,
+    /// Only frames cross threads; the payload type exists at the encode and
+    /// decode edges.
+    _payload: std::marker::PhantomData<fn(P) -> P>,
 }
 
-impl<P: Payload + Send + 'static> ThreadedNetwork<P> {
+impl<P: WireCodec + 'static> ThreadedNetwork<P> {
     /// Creates a network connecting `sites`, spawning one relay thread per
     /// site.
     pub fn new(sites: &[SiteId]) -> Self {
-        let metrics_owner: ThreadedTransport<P> = ThreadedTransport::new(sites);
-        let (inbox_tx, inbox) = unbounded();
+        let metrics = Arc::new(Mutex::new(NetMetrics::new()));
+        let (inbox_tx, inbox) = unbounded::<FrameEnvelope>();
         let mut senders = BTreeMap::new();
         let mut relays = Vec::new();
-        let mut metrics = None;
-        for endpoint in metrics_owner.into_endpoints() {
-            let (tx, rx) = endpoint.split();
-            metrics.get_or_insert_with(|| Arc::clone(&tx.metrics));
-            senders.insert(tx.site(), tx);
+        for &site in sites {
+            let (tx, rx) = unbounded::<FrameEnvelope>();
+            senders.insert(site, tx);
             let forward = inbox_tx.clone();
+            let relay_metrics = Arc::clone(&metrics);
             relays.push(std::thread::spawn(move || {
-                while let Some(env) = rx.recv() {
+                while let Ok(env) = rx.recv() {
+                    {
+                        // The relay hop is where the frame leaves its site
+                        // queue: record the channel-level delivery and
+                        // release the queued wire bytes.
+                        let mut m = relay_metrics.lock();
+                        m.record_delivered(env.frame.class(), env.frame.label());
+                        m.note_dequeued(env.frame.wire_len());
+                    }
                     if forward.send(env).is_err() {
                         break;
                     }
@@ -278,11 +305,12 @@ impl<P: Payload + Send + 'static> ThreadedNetwork<P> {
             senders,
             inbox,
             in_flight: 0,
-            metrics: metrics.expect("at least one site"),
+            metrics,
             relays,
             deliveries: 0,
             next_id: 0,
             faults: FaultPlan::new(),
+            _payload: std::marker::PhantomData,
         }
     }
 
@@ -335,50 +363,63 @@ impl<P: Payload + Send + 'static> ThreadedNetwork<P> {
         self.relays.is_empty()
     }
 
-    /// Accepts one envelope off the inbox: a message for a site crashed at
-    /// the current logical time is dropped (counted as loss), everything
-    /// else becomes a delivery.
-    fn accept(&mut self, env: Envelope<P>) -> Option<Delivery<P>> {
+    /// Accepts one frame off the inbox: a frame for a site crashed at the
+    /// current logical time is dropped undecoded (counted as loss),
+    /// everything else is decoded back into a payload delivery.
+    fn accept(&mut self, env: FrameEnvelope) -> Option<Delivery<P>> {
         if self.faults.is_crashed(env.to, self.deliveries) {
             self.in_flight -= 1;
             // The relay already recorded the channel-level delivery and
-            // dequeue when it pulled the envelope; only the terminal drop
-            // is added here.
+            // dequeue when it pulled the frame; only the terminal drop is
+            // added here.
             self.metrics
                 .lock()
-                .record_dropped(env.payload.class(), env.payload.label());
+                .record_dropped(env.frame.class(), env.frame.label());
             return None;
         }
         Some(self.delivery(env))
     }
 
-    fn delivery(&mut self, env: Envelope<P>) -> Delivery<P> {
+    fn delivery(&mut self, env: FrameEnvelope) -> Delivery<P> {
         self.in_flight -= 1;
         self.deliveries += 1;
         let id = MessageId::new(self.next_id);
         self.next_id += 1;
+        let payload = env
+            .frame
+            .decode()
+            .expect("wire frame decodes back to the payload that was sent");
         Delivery {
             id,
             from: env.from,
             to: env.to,
             at: self.deliveries,
             duplicate: false,
-            payload: env.payload,
+            payload,
         }
     }
 }
 
-impl<P: Payload + Send + 'static> Transport<P> for ThreadedNetwork<P> {
+impl<P: WireCodec + 'static> Transport<P> for ThreadedNetwork<P> {
     fn send(&mut self, from: SiteId, to: SiteId, payload: P) {
-        let sender = self
-            .senders
-            .get(&from)
-            .expect("sending site is part of the network");
-        if sender.send(to, payload).is_ok() {
+        assert!(
+            self.senders.contains_key(&from),
+            "sending site is part of the network"
+        );
+        // An unknown destination can never arrive, so it must not count
+        // towards quiescence (nor in the metrics tables).
+        let Some(sender) = self.senders.get(&to) else {
+            return;
+        };
+        let frame = Frame::encode(&payload);
+        {
+            let mut metrics = self.metrics.lock();
+            metrics.record_sent(frame.class(), frame.label(), frame.wire_len());
+            metrics.note_enqueued(frame.wire_len());
+        }
+        if sender.send(FrameEnvelope { from, to, frame }).is_ok() {
             self.in_flight += 1;
         }
-        // An unknown destination can never arrive, so it must not count
-        // towards quiescence.
     }
 
     fn poll(&mut self) -> Option<Delivery<P>> {
@@ -423,7 +464,7 @@ impl<P: Payload + Send + 'static> Transport<P> for ThreadedNetwork<P> {
     }
 }
 
-impl<P: Payload + Send + 'static> Drop for ThreadedNetwork<P> {
+impl<P: WireCodec + 'static> Drop for ThreadedNetwork<P> {
     fn drop(&mut self) {
         // Dropping every sender disconnects all site channels, which makes
         // each relay's blocking `recv` fail and the thread exit. Shutdown
@@ -616,6 +657,54 @@ mod tests {
             net.shutdown();
             assert!(net.relays_joined());
         }
+    }
+
+    #[test]
+    fn queued_bytes_measure_real_encoded_frames() {
+        // The wire-cost regression this transport exists to catch: byte
+        // metrics must come from the encoded frame, not from size hints or
+        // in-memory enum sizes. TestPayload's hint (16/64 bytes) is far off
+        // its real encoding (1 class byte + 1 label byte + varint size,
+        // framed), so any fallback to hints fails these equalities.
+        let mut net: ThreadedNetwork<TestPayload> = ThreadedNetwork::for_sites(2);
+        let payloads = [
+            TestPayload::control("ping"),
+            TestPayload::mutator("m"),
+            TestPayload::control("pong"),
+        ];
+        let encoded_total: u64 = payloads
+            .iter()
+            .map(|p| Frame::encode(p).wire_len() as u64)
+            .sum();
+        for payload in payloads.clone() {
+            Transport::send(&mut net, SiteId::new(0), SiteId::new(1), payload);
+        }
+        let hinted_total: u64 = payloads.iter().map(|p| p.size_hint() as u64).sum();
+        assert_ne!(
+            encoded_total, hinted_total,
+            "the test is only meaningful if hints and encodings differ"
+        );
+
+        let metrics = net.metrics_snapshot();
+        assert_eq!(metrics.bytes_sent_total(), encoded_total);
+        assert!(
+            metrics.peak_queued_bytes() <= encoded_total,
+            "peak cannot exceed the bytes ever enqueued"
+        );
+        assert!(metrics.peak_queued_bytes() > 0);
+
+        // Frames decode back to the payloads that were sent (codec
+        // round-trip on the live framed path), in per-link FIFO order.
+        let labels: Vec<&str> = std::iter::from_fn(|| net.poll())
+            .map(|d| d.payload.label)
+            .collect();
+        assert_eq!(labels, ["ping", "m", "pong"]);
+        let metrics = net.metrics_snapshot();
+        assert_eq!(metrics.queued_bytes(), 0, "everything was dequeued");
+        assert_eq!(
+            metrics.control_bytes_sent() + metrics.mutator_bytes_sent(),
+            encoded_total
+        );
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct ClusterConfig {
     /// [`ClusterConfig::faults`] require durability — a crashed volatile
     /// site could not come back.
     pub durability: DurabilityConfig,
+    /// Worker threads for the parallel drive loop
+    /// ([`ParallelCluster`](crate::ParallelCluster)). `0` — the default —
+    /// means the sequential single-threaded driver; the sequential
+    /// [`Cluster`] ignores this field entirely, so every deterministic
+    /// path is bit-for-bit unaffected. `ParallelCluster` requires ≥ 1 and
+    /// hosts the sites sharded across that many workers.
+    pub workers: u32,
 }
 
 impl Default for ClusterConfig {
@@ -62,12 +69,13 @@ impl Default for ClusterConfig {
             sync_mode: SyncMode::default(),
             safety_oracle: true,
             durability: DurabilityConfig::off(),
+            workers: 0,
         }
     }
 }
 
 impl ClusterConfig {
-    fn settle_rounds(&self) -> u32 {
+    pub(crate) fn settle_rounds(&self) -> u32 {
         if self.max_settle_rounds == 0 {
             64
         } else {
@@ -130,11 +138,58 @@ struct DownedSite<M> {
 /// Monotone mutator-legality state (the executable mirror of the
 /// explorer's `sanitize` pass): `holders[name]` is the set of sites that
 /// have legally held `name`'s reference, `anchored` the set of objects a
-/// mutator message can legally be addressed to.
+/// mutator message can legally be addressed to. Shared with the parallel
+/// driver, whose coordinator performs the same skip analysis before
+/// dispatching ops to workers.
 #[derive(Debug, Default)]
-struct Legality {
+pub(crate) struct Legality {
     holders: BTreeMap<ObjName, BTreeSet<SiteId>>,
     anchored: BTreeSet<ObjName>,
+}
+
+impl Legality {
+    /// Records a successful `Alloc`: `site` holds `name`, and a local root
+    /// makes it addressable.
+    pub(crate) fn note_alloc(&mut self, name: ObjName, site: SiteId, local_root: bool) {
+        self.holders.entry(name).or_default().insert(site);
+        if local_root {
+            self.anchored.insert(name);
+        }
+    }
+
+    /// Judges a `SendRef` and, when legal, records its effects. Skipped ops
+    /// may have broken the causal chain that made this send legal in the
+    /// generated scenario: the sender must actually have held the target's
+    /// reference, and the recipient must be addressable. Holding is
+    /// recorded at *send* time, deliberately mirroring the explorer's
+    /// `sanitize` (and the generator's own forwarders model): a transfer
+    /// lost en route — to a drop plan or to a crashed inbox — still
+    /// legalizes later forwards, because the sender legitimately performed
+    /// the send and message loss is squarely inside the collectors' fault
+    /// contract (the export registered the target as a global root, so a
+    /// forwarded-but-never-received reference can only add conservatism,
+    /// never an unsafe free).
+    pub(crate) fn approve_send(
+        &mut self,
+        target: ObjName,
+        from_site: SiteId,
+        recipient: ObjName,
+        recipient_site: SiteId,
+    ) -> bool {
+        let sender_holds = self
+            .holders
+            .get(&target)
+            .is_some_and(|sites| sites.contains(&from_site));
+        if !sender_holds || !self.anchored.contains(&recipient) {
+            return false;
+        }
+        self.anchored.insert(target);
+        self.holders
+            .entry(target)
+            .or_default()
+            .insert(recipient_site);
+        true
+    }
 }
 
 impl<C, T> fmt::Debug for Cluster<C, T>
@@ -359,10 +414,7 @@ where
                 let addr = self.site_mut(site).alloc(local_root);
                 self.names.insert(name, addr);
                 if let Some(legality) = &mut self.legality {
-                    legality.holders.entry(name).or_default().insert(site);
-                    if local_root {
-                        legality.anchored.insert(name);
-                    }
+                    legality.note_alloc(name, site, local_root);
                 }
                 self.after_step(site);
             }
@@ -404,33 +456,9 @@ where
                     return;
                 }
                 if let Some(legality) = &mut self.legality {
-                    // Skipped ops may have broken the causal chain that
-                    // made this send legal in the generated scenario: the
-                    // sender must actually have held the target's
-                    // reference, and the recipient must be addressable.
-                    // Holding is recorded at *send* time, deliberately
-                    // mirroring the explorer's `sanitize` (and the
-                    // generator's own forwarders model): a transfer lost
-                    // en route — to a drop plan or to a crashed inbox —
-                    // still legalizes later forwards, because the sender
-                    // legitimately performed the send and message loss is
-                    // squarely inside the collectors' fault contract (the
-                    // export registered the target as a global root, so a
-                    // forwarded-but-never-received reference can only add
-                    // conservatism, never an unsafe free).
-                    let sender_holds = legality
-                        .holders
-                        .get(&target)
-                        .is_some_and(|sites| sites.contains(&from_site));
-                    if !sender_holds || !legality.anchored.contains(&recipient) {
+                    if !legality.approve_send(target, from_site, recipient, recipient_addr.site()) {
                         return;
                     }
-                    legality.anchored.insert(target);
-                    legality
-                        .holders
-                        .entry(target)
-                        .or_default()
-                        .insert(recipient_addr.site());
                 }
                 let tick = self
                     .site_mut(from_site)

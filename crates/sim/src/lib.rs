@@ -31,6 +31,7 @@
 mod cluster;
 mod collector;
 mod oracle;
+mod parallel;
 mod report;
 mod runtime;
 
@@ -39,6 +40,7 @@ pub use collector::{
     CausalCollector, Collector, RefListingCollector, SimPayload, TracingCollector,
 };
 pub use oracle::Oracle;
+pub use parallel::ParallelCluster;
 pub use report::RunReport;
 pub use runtime::{SiteRuntime, SiteTick, SyncMode};
 // Durability configuration re-exported so cluster users need not depend on

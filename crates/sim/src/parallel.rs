@@ -1,0 +1,1028 @@
+//! The parallel drive loop: site runtimes sharded across worker threads,
+//! fed through mailboxes carrying resolved mutator ops and encoded wire
+//! frames.
+//!
+//! The sequential [`Cluster`](crate::Cluster) steps every site from one
+//! coordinator thread. [`ParallelCluster`] splits that loop in two:
+//!
+//! * **Workers** own the [`SiteRuntime`]s. Each of the
+//!   [`ClusterConfig::workers`] threads hosts a shard of the sites (round
+//!   robin by site id; with as many workers as sites this degenerates to
+//!   one site per worker) and consumes a mailbox of commands: resolved
+//!   mutator ops, inter-site wire frames, collection requests and
+//!   crash/recover orders. Inter-site traffic is exchanged worker-to-worker
+//!   as length-prefixed encoded [`Frame`]s — the same `ggd-store`-backed
+//!   codec the framed [`ThreadedNetwork`](ggd_net::ThreadedNetwork) uses —
+//!   so byte metrics measure real serialized cost and no payload value ever
+//!   crosses a thread boundary.
+//! * **The coordinator** (the calling thread) only injects scenario steps
+//!   and aggregates. It resolves symbolic object names to [`GlobalAddr`]s
+//!   up front (allocation addresses are a pure function of per-site
+//!   allocation order, so the coordinator predicts them without a
+//!   round-trip — workers assert the prediction), applies the same
+//!   crash-window skip analysis as the sequential driver, and detects
+//!   quiescence.
+//!
+//! Quiescence replaces the sequential settle loop's "poll until the
+//! transport is empty" with a **termination barrier**: a global in-flight
+//! credit counter. A worker increments it *before* handing a frame to a
+//! mailbox and decrements it only after the receiving worker has fully
+//! processed the frame — including enqueuing any frames that processing
+//! produced — so `in_flight == 0` is a stable property: once observed
+//! during a drain phase, no worker can reintroduce traffic. Each settle is
+//! an op barrier (every worker has consumed its op backlog) followed by
+//! rounds of drain-then-collect, exactly mirroring the sequential
+//! deliver-all/collect-all rounds, until a round processes and emits
+//! nothing.
+//!
+//! What stays deterministic and what does not: op dispatch, name
+//! resolution and the skip pattern are pure functions of the scenario and
+//! config, but frame arrival order across workers is scheduler-dependent —
+//! like [`ThreadedNetwork`](ggd_net::ThreadedNetwork), runs are not
+//! bit-reproducible. The deterministic sequential path is untouched; this
+//! driver is opt-in via [`ClusterConfig::workers`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use ggd_heap::SiteHeap;
+use ggd_mutator::{MutatorOp, ObjName, Scenario, Step};
+use ggd_net::{Frame, NetMetrics};
+use ggd_store::{SiteStore, StoreStats};
+use ggd_types::{GlobalAddr, ObjectId, SiteId};
+
+use crate::cluster::{ClusterConfig, Legality};
+use crate::collector::{Collector, SimPayload};
+use crate::oracle::Oracle;
+use crate::report::RunReport;
+use crate::runtime::{SiteRuntime, SiteTick, SyncMode};
+
+/// How long a worker spins on the termination barrier, or the coordinator
+/// on a phase acknowledgement, before declaring the run wedged. Only a bug
+/// (a lost credit, a dead worker) can exhaust it; panicking beats hanging.
+const PHASE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Counters shared by the coordinator and every worker. `in_flight` is the
+/// termination barrier's credit count; the rest feed the run report.
+#[derive(Debug, Default)]
+struct SharedState {
+    /// Frames enqueued but not yet fully processed (credit scheme: raised
+    /// before the mailbox send, lowered after the handler *and its
+    /// descendant sends* complete).
+    in_flight: AtomicU64,
+    /// Total frames ever enqueued — settle rounds diff this to detect
+    /// collect phases that emitted traffic.
+    frames_sent: AtomicU64,
+    /// The logical clock: frames processed so far (the parallel analogue of
+    /// the transports' delivered-messages clock).
+    deliveries: AtomicU64,
+    /// Wire bytes currently sitting in worker mailboxes.
+    queued_bytes: AtomicU64,
+    /// High-water mark of `queued_bytes`, in real encoded frame bytes.
+    peak_queued_bytes: AtomicU64,
+    /// Clock value of the first control-message send; `u64::MAX` = never.
+    triggered_at: AtomicU64,
+    /// Clock value of the latest verdict application.
+    last_verdict_at: AtomicU64,
+}
+
+/// One command in a worker's mailbox.
+enum Command {
+    /// A resolved mutator op for a hosted site.
+    Op(SiteId, SiteOp),
+    /// An encoded inter-site frame. Stashed outside drain phases so frames
+    /// never overtake the op stream, mirroring the sequential driver where
+    /// delivery happens only inside `settle`.
+    Frame {
+        from: SiteId,
+        to: SiteId,
+        frame: Frame,
+    },
+    /// Op barrier: acknowledge that every earlier op has been consumed.
+    Barrier,
+    /// Drain phase: process stashed and incoming frames until the global
+    /// in-flight count reaches zero, then acknowledge.
+    Drain,
+    /// Run a local collection on every hosted site.
+    Collect { ack: bool },
+    /// Tear the site's volatile runtime down, keeping its durable store.
+    Crash(SiteId),
+    /// Rebuild the site from its durable store.
+    Recover(SiteId),
+    /// Hand every runtime and counter back to the coordinator and exit.
+    Shutdown,
+}
+
+/// A mutator op with every name already resolved by the coordinator.
+enum SiteOp {
+    Alloc {
+        local_root: bool,
+        /// The address the coordinator predicted; the worker's heap must
+        /// agree or name resolution has diverged.
+        expect: GlobalAddr,
+    },
+    LinkLocal {
+        from: GlobalAddr,
+        to: GlobalAddr,
+    },
+    Unlink {
+        from: GlobalAddr,
+        to: GlobalAddr,
+    },
+    ClearRefs {
+        addr: GlobalAddr,
+    },
+    DropLocalRoot {
+        addr: GlobalAddr,
+    },
+    /// Export + wire send (or the immediate local receive for a same-site
+    /// recipient).
+    SendRef {
+        target: GlobalAddr,
+        recipient: GlobalAddr,
+    },
+    Collect,
+}
+
+/// A worker's acknowledgement or final state.
+enum Reply<C: Collector> {
+    AtBarrier,
+    DrainDone { processed: u64 },
+    CollectDone,
+    Finished(Box<WorkerFinal<C>>),
+}
+
+impl<C: Collector> Reply<C> {
+    fn kind(&self) -> &'static str {
+        match self {
+            Reply::AtBarrier => "barrier",
+            Reply::DrainDone { .. } => "drain",
+            Reply::CollectDone => "collect",
+            Reply::Finished(_) => "finished",
+        }
+    }
+}
+
+/// Everything a worker hands back at shutdown.
+struct WorkerFinal<C: Collector> {
+    runtimes: BTreeMap<SiteId, SiteRuntime<C>>,
+    metrics: NetMetrics,
+    reclaimed: u64,
+    reclaimed_addrs: BTreeSet<GlobalAddr>,
+    verdicts: u64,
+    recoveries: u64,
+}
+
+/// One worker thread: a shard of site runtimes plus its mailbox plumbing.
+struct Worker<C: Collector, F> {
+    index: usize,
+    runtimes: BTreeMap<SiteId, SiteRuntime<C>>,
+    /// Durable stores of hosted sites that are currently down.
+    downed: BTreeMap<SiteId, SiteStore<C::Msg>>,
+    /// Frames received outside a drain phase, still holding their credit.
+    pending: VecDeque<(SiteId, SiteId, Frame)>,
+    /// Every worker's mailbox, for inter-site sends (index = worker).
+    mailboxes: Vec<Sender<Command>>,
+    replies: Sender<Reply<C>>,
+    shared: Arc<SharedState>,
+    metrics: NetMetrics,
+    reclaimed: u64,
+    reclaimed_addrs: BTreeSet<GlobalAddr>,
+    verdicts: u64,
+    recoveries: u64,
+    factory: F,
+    sync_mode: SyncMode,
+    workers: usize,
+}
+
+fn worker_of(site: SiteId, workers: usize) -> usize {
+    site.index() as usize % workers
+}
+
+impl<C, F> Worker<C, F>
+where
+    C: Collector,
+    C::Msg: Send + 'static,
+    F: Fn(SiteId) -> C,
+{
+    fn run(mut self, rx: Receiver<Command>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Op(site, op) => self.apply_op(site, op),
+                Command::Frame { from, to, frame } => self.pending.push_back((from, to, frame)),
+                Command::Barrier => {
+                    let _ = self.replies.send(Reply::AtBarrier);
+                }
+                Command::Drain => {
+                    let processed = self.drain(&rx);
+                    let _ = self.replies.send(Reply::DrainDone { processed });
+                }
+                Command::Collect { ack } => {
+                    let sites: Vec<SiteId> = self.runtimes.keys().copied().collect();
+                    for site in sites {
+                        self.collect_site(site);
+                    }
+                    if ack {
+                        let _ = self.replies.send(Reply::CollectDone);
+                    }
+                }
+                Command::Crash(site) => {
+                    if let Some(mut runtime) = self.runtimes.remove(&site) {
+                        let store = runtime
+                            .take_store()
+                            .expect("crash orders require durability (checked at construction)");
+                        self.downed.insert(site, store);
+                    }
+                }
+                Command::Recover(site) => {
+                    if let Some(store) = self.downed.remove(&site) {
+                        let runtime =
+                            SiteRuntime::recover(store, (self.factory)(site), self.sync_mode);
+                        self.runtimes.insert(site, runtime);
+                        self.recoveries += 1;
+                    }
+                }
+                Command::Shutdown => {
+                    let _ = self.replies.send(Reply::Finished(Box::new(WorkerFinal {
+                        runtimes: std::mem::take(&mut self.runtimes),
+                        metrics: std::mem::take(&mut self.metrics),
+                        reclaimed: self.reclaimed,
+                        reclaimed_addrs: std::mem::take(&mut self.reclaimed_addrs),
+                        verdicts: self.verdicts,
+                        recoveries: self.recoveries,
+                    })));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Processes frames — the stash first, then live arrivals — until the
+    /// global in-flight credit reaches zero. Zero is stable inside a drain
+    /// phase: every worker is draining, and only frame processing (which
+    /// holds a credit) can enqueue new frames.
+    fn drain(&mut self, rx: &Receiver<Command>) -> u64 {
+        let mut processed = 0;
+        let deadline = Instant::now() + PHASE_DEADLINE;
+        loop {
+            while let Some((from, to, frame)) = self.pending.pop_front() {
+                self.process_frame(from, to, frame);
+                processed += 1;
+            }
+            match rx.try_recv() {
+                Ok(Command::Frame { from, to, frame }) => {
+                    self.process_frame(from, to, frame);
+                    processed += 1;
+                }
+                Ok(_) => unreachable!("only frames are in flight during a drain phase"),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "worker {} drain stalled with {} frames credited — termination barrier bug",
+                        self.index,
+                        self.shared.in_flight.load(Ordering::SeqCst)
+                    );
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(Command::Frame { from, to, frame }) => {
+                            self.process_frame(from, to, frame);
+                            processed += 1;
+                        }
+                        Ok(_) => unreachable!("only frames are in flight during a drain phase"),
+                        Err(_) => {}
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    fn apply_op(&mut self, site: SiteId, op: SiteOp) {
+        let Some(runtime) = self.runtimes.get_mut(&site) else {
+            // The coordinator skips ops to downed sites; a straggler here
+            // would mean the skip analysis and the crash orders disagree.
+            unreachable!(
+                "op dispatched to a site that is not up on worker {}",
+                self.index
+            );
+        };
+        match op {
+            SiteOp::Alloc { local_root, expect } => {
+                let addr = runtime.alloc(local_root);
+                assert_eq!(
+                    addr, expect,
+                    "coordinator-predicted allocation address diverged"
+                );
+                runtime.maybe_checkpoint();
+            }
+            SiteOp::LinkLocal { from, to } => {
+                let tick = runtime.link_local(from, to);
+                self.absorb(site, tick);
+            }
+            SiteOp::Unlink { from, to } => {
+                let tick = runtime.unlink(from, to);
+                self.absorb(site, tick);
+            }
+            SiteOp::ClearRefs { addr } => {
+                let tick = runtime.clear_refs(addr);
+                self.absorb(site, tick);
+            }
+            SiteOp::DropLocalRoot { addr } => {
+                let tick = runtime.drop_local_root(addr);
+                self.absorb(site, tick);
+            }
+            SiteOp::SendRef { target, recipient } => {
+                let tick = runtime.export_reference(target, recipient);
+                self.absorb(site, tick);
+                if recipient.site() == site {
+                    // A same-site transfer is a local mutation, never a
+                    // wire frame (see `SiteRuntime::export_reference`).
+                    let tick = self
+                        .runtime(site)
+                        .receive_reference(site, recipient, target);
+                    self.absorb(site, tick);
+                } else {
+                    self.send_payload(
+                        site,
+                        recipient.site(),
+                        &SimPayload::Reference { recipient, target },
+                    );
+                }
+            }
+            SiteOp::Collect => self.collect_site(site),
+        }
+    }
+
+    fn runtime(&mut self, site: SiteId) -> &mut SiteRuntime<C> {
+        self.runtimes.get_mut(&site).expect("site is up")
+    }
+
+    /// Mirrors `Cluster::collect_site`, minus the mid-run oracle (the
+    /// coordinator no longer has a consistent global heap view while
+    /// workers run; safety is judged at the end of the run and by the
+    /// equivalence suite).
+    fn collect_site(&mut self, site: SiteId) {
+        let Some(runtime) = self.runtimes.get_mut(&site) else {
+            return;
+        };
+        let outcome = runtime.collect();
+        let tick = if outcome.is_noop() {
+            None
+        } else {
+            Some(runtime.sync())
+        };
+        for freed in &outcome.freed {
+            self.reclaimed_addrs
+                .insert(GlobalAddr::from_parts(site, *freed));
+        }
+        self.reclaimed += outcome.freed.len() as u64;
+        if let Some(tick) = tick {
+            self.absorb(site, tick);
+        }
+    }
+
+    /// Books a runtime step's results: verdict counters and control-message
+    /// sends, followed by the checkpoint-cadence check — the worker-side
+    /// mirror of `Cluster::absorb_tick` + `after_step`.
+    fn absorb(&mut self, site: SiteId, tick: SiteTick<C::Msg>) {
+        if tick.verdicts_applied > 0 {
+            self.verdicts += tick.verdicts_applied;
+            let now = self.shared.deliveries.load(Ordering::SeqCst);
+            self.shared.last_verdict_at.fetch_max(now, Ordering::SeqCst);
+        }
+        for (dest, msg) in tick.outgoing {
+            let now = self.shared.deliveries.load(Ordering::SeqCst);
+            self.shared.triggered_at.fetch_min(now, Ordering::SeqCst);
+            self.send_payload(site, dest, &SimPayload::Control(msg));
+        }
+        if let Some(runtime) = self.runtimes.get_mut(&site) {
+            runtime.maybe_checkpoint();
+        }
+    }
+
+    /// Encodes `payload` into a wire frame and mails it to the worker
+    /// hosting `to`. The in-flight credit is raised *before* the send so
+    /// the termination barrier can never observe a frame-shaped gap.
+    fn send_payload(&mut self, from: SiteId, to: SiteId, payload: &SimPayload<C::Msg>) {
+        let frame = Frame::encode(payload);
+        let len = frame.wire_len();
+        self.metrics.record_sent(frame.class(), frame.label(), len);
+        let queued = self
+            .shared
+            .queued_bytes
+            .fetch_add(len as u64, Ordering::SeqCst)
+            + len as u64;
+        self.shared
+            .peak_queued_bytes
+            .fetch_max(queued, Ordering::SeqCst);
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.shared.frames_sent.fetch_add(1, Ordering::SeqCst);
+        let dest = worker_of(to, self.workers);
+        if self.mailboxes[dest]
+            .send(Command::Frame { from, to, frame })
+            .is_err()
+        {
+            // Teardown race (coordinator gone): release the credit so any
+            // worker still draining can terminate.
+            self.shared
+                .queued_bytes
+                .fetch_sub(len as u64, Ordering::SeqCst);
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Consumes one frame: decode at the mailbox, deliver to the hosted
+    /// runtime (or drop as loss if the site is down), then release the
+    /// credit — strictly after any descendant sends were enqueued.
+    fn process_frame(&mut self, from: SiteId, to: SiteId, frame: Frame) {
+        self.shared
+            .queued_bytes
+            .fetch_sub(frame.wire_len() as u64, Ordering::SeqCst);
+        if self.runtimes.contains_key(&to) {
+            let payload: SimPayload<C::Msg> = frame
+                .decode()
+                .expect("wire frame decodes back to the payload that was sent");
+            self.metrics.record_delivered(frame.class(), frame.label());
+            self.shared.deliveries.fetch_add(1, Ordering::SeqCst);
+            let runtime = self.runtime(to);
+            let tick = match payload {
+                SimPayload::Reference { recipient, target } => {
+                    runtime.receive_reference(from, recipient, target)
+                }
+                SimPayload::Control(msg) => runtime.on_control(from, msg),
+            };
+            self.absorb(to, tick);
+        } else {
+            // The site is down (or between crash and recover): the frame
+            // dies with the inbox, counted as loss — the same semantics as
+            // both transports.
+            self.metrics.record_dropped(frame.class(), frame.label());
+        }
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The coordinator side of a parallel run, while workers are live.
+struct Coordinator<C: Collector> {
+    config: ClusterConfig,
+    mailboxes: Vec<Sender<Command>>,
+    replies: Receiver<Reply<C>>,
+    shared: Arc<SharedState>,
+    names: BTreeMap<ObjName, GlobalAddr>,
+    /// Predicted next allocation id per site (`SiteHeap` allocates ids
+    /// 1, 2, … in order; recovery replays preserve the counter).
+    next_object: BTreeMap<SiteId, u64>,
+    legality: Option<Legality>,
+    /// Sites currently down, with their scheduled restart time.
+    downed: BTreeMap<SiteId, u64>,
+    crashes_applied: Vec<bool>,
+    workers: usize,
+}
+
+impl<C: Collector> Coordinator<C> {
+    fn site_is_up(&self, site: SiteId) -> bool {
+        !self.downed.contains_key(&site)
+    }
+
+    fn send_to_site(&self, site: SiteId, op: SiteOp) {
+        let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Op(site, op));
+    }
+
+    fn broadcast(&self, make: impl Fn() -> Command) {
+        for mailbox in &self.mailboxes {
+            let _ = mailbox.send(make());
+        }
+    }
+
+    /// Waits for one acknowledgement of `expected` kind from every worker,
+    /// returning the summed drain counts. Panics (rather than hangs) when a
+    /// worker goes silent — the stress suite asserts the termination
+    /// barrier cannot deadlock.
+    fn await_acks(&self, expected: &'static str) -> u64 {
+        let mut processed = 0;
+        for _ in 0..self.workers {
+            match self.replies.recv_timeout(PHASE_DEADLINE) {
+                Ok(Reply::DrainDone { processed: p }) if expected == "drain" => processed += p,
+                Ok(Reply::AtBarrier) if expected == "barrier" => {}
+                Ok(Reply::CollectDone) if expected == "collect" => {}
+                Ok(other) => panic!(
+                    "parallel protocol violation: got {} while awaiting {expected} acks",
+                    other.kind()
+                ),
+                Err(_) => panic!("parallel {expected} phase stalled — a worker went silent"),
+            }
+        }
+        processed
+    }
+
+    /// The parallel settle: an op barrier, then rounds of drain-then-
+    /// collect until a round neither processed nor emitted a frame. The
+    /// sequential settle's global round counter survives only as the
+    /// safety valve; progress itself is judged by the termination barrier.
+    fn settle(&mut self) {
+        self.broadcast(|| Command::Barrier);
+        self.await_acks("barrier");
+        for _ in 0..self.config.settle_rounds() {
+            self.lifecycle();
+            self.broadcast(|| Command::Drain);
+            let processed = self.await_acks("drain");
+            self.lifecycle();
+            let before = self.shared.frames_sent.load(Ordering::SeqCst);
+            self.broadcast(|| Command::Collect { ack: true });
+            self.await_acks("collect");
+            let emitted = self.shared.frames_sent.load(Ordering::SeqCst) - before;
+            if processed == 0 && emitted == 0 && self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Applies the fault plan's crash schedule against the shared delivery
+    /// clock — the parallel mirror of `Cluster::process_crash_lifecycle`,
+    /// sampled at op dispatch and settle-round boundaries (crash windows
+    /// opening mid-drain take effect at the next boundary).
+    fn lifecycle(&mut self) {
+        if self.crashes_applied.is_empty() && self.downed.is_empty() {
+            return;
+        }
+        let now = self.shared.deliveries.load(Ordering::SeqCst);
+        for index in 0..self.crashes_applied.len() {
+            let crash = self.config.faults.crashes()[index];
+            if self.crashes_applied[index] || now < crash.at_round {
+                continue;
+            }
+            self.crashes_applied[index] = true;
+            self.crash_site(crash.site, crash.restart_after);
+        }
+        let due: Vec<SiteId> = self
+            .downed
+            .iter()
+            .filter(|(_, &restart)| restart <= now)
+            .map(|(&site, _)| site)
+            .collect();
+        for site in due {
+            self.recover_site(site);
+        }
+    }
+
+    fn crash_site(&mut self, site: SiteId, restart_after: u64) {
+        if let Some(restart) = self.downed.get_mut(&site) {
+            // Overlapping windows merely extend the outage.
+            *restart = (*restart).max(restart_after);
+            return;
+        }
+        self.downed.insert(site, restart_after);
+        let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Crash(site));
+    }
+
+    fn recover_site(&mut self, site: SiteId) {
+        if self.downed.remove(&site).is_some() {
+            let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Recover(site));
+        }
+    }
+
+    /// Resolves and dispatches one mutator op — the coordinator half of
+    /// `Cluster::execute`, with identical skip semantics.
+    fn dispatch(&mut self, op: MutatorOp) {
+        self.lifecycle();
+        match op {
+            MutatorOp::Alloc {
+                site,
+                name,
+                local_root,
+            } => {
+                if !self.site_is_up(site) {
+                    return;
+                }
+                let next = self.next_object.entry(site).or_insert(1);
+                let addr = GlobalAddr::from_parts(site, ObjectId::new(*next));
+                *next += 1;
+                self.names.insert(name, addr);
+                if let Some(legality) = &mut self.legality {
+                    legality.note_alloc(name, site, local_root);
+                }
+                self.send_to_site(
+                    site,
+                    SiteOp::Alloc {
+                        local_root,
+                        expect: addr,
+                    },
+                );
+            }
+            MutatorOp::LinkLocal { site, from, to } => {
+                let (Some(&from_addr), Some(&to_addr)) =
+                    (self.names.get(&from), self.names.get(&to))
+                else {
+                    return;
+                };
+                if !self.site_is_up(site) {
+                    return;
+                }
+                self.send_to_site(
+                    site,
+                    SiteOp::LinkLocal {
+                        from: from_addr,
+                        to: to_addr,
+                    },
+                );
+            }
+            MutatorOp::Unlink { site, from, to } => {
+                let (Some(&from_addr), Some(&to_addr)) =
+                    (self.names.get(&from), self.names.get(&to))
+                else {
+                    return;
+                };
+                if !self.site_is_up(site) {
+                    return;
+                }
+                self.send_to_site(
+                    site,
+                    SiteOp::Unlink {
+                        from: from_addr,
+                        to: to_addr,
+                    },
+                );
+            }
+            MutatorOp::SendRef {
+                from_site,
+                recipient,
+                target,
+            } => {
+                let (Some(&recipient_addr), Some(&target_addr)) =
+                    (self.names.get(&recipient), self.names.get(&target))
+                else {
+                    return;
+                };
+                if !self.site_is_up(from_site) {
+                    return;
+                }
+                if let Some(legality) = &mut self.legality {
+                    if !legality.approve_send(target, from_site, recipient, recipient_addr.site()) {
+                        return;
+                    }
+                }
+                self.send_to_site(
+                    from_site,
+                    SiteOp::SendRef {
+                        target: target_addr,
+                        recipient: recipient_addr,
+                    },
+                );
+            }
+            MutatorOp::DropLocalRoot { site, name } => {
+                let Some(&addr) = self.names.get(&name) else {
+                    return;
+                };
+                if !self.site_is_up(site) {
+                    return;
+                }
+                self.send_to_site(site, SiteOp::DropLocalRoot { addr });
+            }
+            MutatorOp::ClearRefs { site, name } => {
+                let Some(&addr) = self.names.get(&name) else {
+                    return;
+                };
+                if !self.site_is_up(site) {
+                    return;
+                }
+                self.send_to_site(site, SiteOp::ClearRefs { addr });
+            }
+            MutatorOp::CollectSite { site } => {
+                if self.site_is_up(site) {
+                    self.send_to_site(site, SiteOp::Collect);
+                }
+            }
+            MutatorOp::CollectAll => self.broadcast(|| Command::Collect { ack: false }),
+        }
+    }
+}
+
+/// The end state of a parallel run: every site runtime reassembled on the
+/// coordinator, ready for oracle inspection — the parallel counterpart of a
+/// finished [`Cluster`](crate::Cluster).
+pub struct ParallelCluster<C: Collector> {
+    sites: BTreeMap<SiteId, SiteRuntime<C>>,
+    reclaimed_addrs: BTreeSet<GlobalAddr>,
+    recoveries: u64,
+}
+
+impl<C> ParallelCluster<C>
+where
+    C: Collector + Send + 'static,
+    C::Msg: Send + 'static,
+{
+    /// Runs `scenario` on [`ClusterConfig::workers`] worker threads and
+    /// returns the report together with the reassembled cluster state.
+    ///
+    /// Mirrors [`Cluster::run_seeded`](crate::Cluster::run_seeded) in
+    /// inputs and skip semantics, but the run is *not* deterministic:
+    /// frame interleaving across workers is scheduler-dependent, exactly
+    /// like the threaded transport. [`ClusterConfig::safety_oracle`] is
+    /// ignored (no consistent global heap view exists mid-run); safety is
+    /// checked by the sequential-equivalence suite instead. Of
+    /// [`ClusterConfig::faults`], only the crash schedule applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.workers` is zero, or when crash faults are
+    /// scheduled without durability.
+    pub fn run_seeded(
+        scenario: &Scenario,
+        config: ClusterConfig,
+        factory: impl Fn(SiteId) -> C + Clone + Send + 'static,
+    ) -> (RunReport, Self) {
+        assert!(
+            config.workers >= 1,
+            "the parallel driver requires ClusterConfig::workers >= 1"
+        );
+        assert!(
+            config.faults.crashes().is_empty() || config.durability.is_on(),
+            "crash faults require durability (ClusterConfig::durability)"
+        );
+        let site_count = scenario.site_count();
+        let workers = (config.workers as usize).min(site_count.max(1) as usize);
+        let shared = Arc::new(SharedState {
+            triggered_at: AtomicU64::new(u64::MAX),
+            ..SharedState::default()
+        });
+        let collector_name = factory(SiteId::new(0)).name().to_owned();
+
+        // Build the shards and the mailbox mesh.
+        let (reply_tx, replies) = unbounded::<Reply<C>>();
+        let mut mailboxes = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded::<Command>();
+            mailboxes.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (index, rx) in receivers.into_iter().enumerate() {
+            let mut runtimes = BTreeMap::new();
+            for i in 0..site_count {
+                let site = SiteId::new(i);
+                if worker_of(site, workers) != index {
+                    continue;
+                }
+                let mut runtime = SiteRuntime::with_mode(site, factory(site), config.sync_mode);
+                if let Some(store) = SiteStore::open(site, &config.durability) {
+                    runtime = runtime.with_store(store);
+                }
+                runtimes.insert(site, runtime);
+            }
+            let worker = Worker {
+                index,
+                runtimes,
+                downed: BTreeMap::new(),
+                pending: VecDeque::new(),
+                mailboxes: mailboxes.clone(),
+                replies: reply_tx.clone(),
+                shared: Arc::clone(&shared),
+                metrics: NetMetrics::new(),
+                reclaimed: 0,
+                reclaimed_addrs: BTreeSet::new(),
+                verdicts: 0,
+                recoveries: 0,
+                factory: factory.clone(),
+                sync_mode: config.sync_mode,
+                workers,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ggd-worker-{index}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+        drop(reply_tx);
+
+        let crashes_applied = vec![false; config.faults.crashes().len()];
+        let legality = if config.faults.crashes().is_empty() {
+            None
+        } else {
+            Some(Legality::default())
+        };
+        let mut coordinator = Coordinator::<C> {
+            config,
+            mailboxes,
+            replies,
+            shared: Arc::clone(&shared),
+            names: BTreeMap::new(),
+            next_object: BTreeMap::new(),
+            legality,
+            downed: BTreeMap::new(),
+            crashes_applied,
+            workers,
+        };
+
+        // Drive the scenario: ops stream to the shards, settles synchronize.
+        for step in scenario.steps() {
+            match step {
+                Step::Op(op) => coordinator.dispatch(*op),
+                Step::Settle => coordinator.settle(),
+            }
+        }
+        coordinator.settle();
+        if !coordinator.downed.is_empty() {
+            let sites: Vec<SiteId> = coordinator.downed.keys().copied().collect();
+            for site in sites {
+                coordinator.recover_site(site);
+            }
+            coordinator.settle();
+        }
+
+        // Shut down and reassemble.
+        coordinator.broadcast(|| Command::Shutdown);
+        let mut sites = BTreeMap::new();
+        let mut net = NetMetrics::new();
+        let mut reclaimed = 0;
+        let mut reclaimed_addrs = BTreeSet::new();
+        let mut verdicts = 0;
+        let mut recoveries = 0;
+        for _ in 0..workers {
+            match coordinator.replies.recv_timeout(PHASE_DEADLINE) {
+                Ok(Reply::Finished(state)) => {
+                    sites.extend(state.runtimes);
+                    net.absorb(&state.metrics);
+                    reclaimed += state.reclaimed;
+                    reclaimed_addrs.extend(state.reclaimed_addrs);
+                    verdicts += state.verdicts;
+                    recoveries += state.recoveries;
+                }
+                Ok(other) => panic!(
+                    "parallel protocol violation: got {} while awaiting shutdown",
+                    other.kind()
+                ),
+                Err(_) => panic!("parallel shutdown stalled — a worker went silent"),
+            }
+        }
+        for handle in handles {
+            handle.join().expect("worker thread exited cleanly");
+        }
+        net.note_peak_queued(shared.peak_queued_bytes.load(Ordering::SeqCst));
+
+        assert_eq!(
+            sites.len(),
+            site_count as usize,
+            "every site must be up and returned at end of run"
+        );
+        let residual = Oracle::garbage(sites.values().map(SiteRuntime::heap)).len() as u64;
+        let allocated = sites.values().map(|rt| rt.heap().stats().allocated).sum();
+        let triggered = shared.triggered_at.load(Ordering::SeqCst);
+        let report = RunReport {
+            collector: collector_name,
+            sites: site_count,
+            allocated,
+            reclaimed,
+            safety_violations: 0,
+            residual_garbage: residual,
+            verdicts,
+            finished_at: shared.deliveries.load(Ordering::SeqCst),
+            last_verdict_at: (verdicts > 0).then(|| shared.last_verdict_at.load(Ordering::SeqCst)),
+            triggered_at: (triggered != u64::MAX).then_some(triggered),
+            net,
+        };
+        let cluster = ParallelCluster {
+            sites,
+            reclaimed_addrs,
+            recoveries,
+        };
+        (report, cluster)
+    }
+}
+
+impl<C: Collector> ParallelCluster<C> {
+    /// Read access to a site's heap.
+    pub fn heap(&self, site: SiteId) -> &SiteHeap {
+        self.sites[&site].heap()
+    }
+
+    /// Iterates over every site's heap (all sites are up at end of run).
+    pub fn heaps(&self) -> impl Iterator<Item = &SiteHeap> {
+        self.sites.values().map(SiteRuntime::heap)
+    }
+
+    /// The addresses of every object reclaimed by local collections.
+    pub fn reclaimed_addrs(&self) -> &BTreeSet<GlobalAddr> {
+        &self.reclaimed_addrs
+    }
+
+    /// The residual-garbage set at end of run, per the oracle.
+    pub fn garbage_addrs(&self) -> BTreeSet<GlobalAddr> {
+        Oracle::garbage(self.heaps())
+    }
+
+    /// Number of site recoveries performed over the run.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// True when the site's runtime came back up (always, for a completed
+    /// run — the driver recovers every downed site before reporting).
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.sites.contains_key(&site)
+    }
+
+    /// Aggregated durable-store counters across every site. All zeros with
+    /// durability off.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for runtime in self.sites.values() {
+            if let Some(store) = runtime.store() {
+                let stats = store.stats();
+                total.records_appended += stats.records_appended;
+                total.wal_bytes_appended += stats.wal_bytes_appended;
+                total.checkpoints_installed += stats.checkpoints_installed;
+                total.records_replayed += stats.records_replayed;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{CausalCollector, RefListingCollector, TracingCollector};
+    use crate::Cluster;
+    use ggd_mutator::workloads;
+
+    fn parallel_config(workers: u32) -> ClusterConfig {
+        ClusterConfig {
+            workers,
+            safety_oracle: false,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn paper_example_on_workers_matches_the_sequential_outcome() {
+        let scenario = workloads::paper_example();
+        let (seq_report, seq) =
+            Cluster::run_seeded(&scenario, ClusterConfig::default(), CausalCollector::new);
+        for workers in [1, 2, 4] {
+            let (report, cluster) = ParallelCluster::run_seeded(
+                &scenario,
+                parallel_config(workers),
+                CausalCollector::new,
+            );
+            assert_eq!(report.reclaimed, 3, "workers={workers}");
+            assert_eq!(report.residual_garbage, 0, "workers={workers}");
+            assert_eq!(report.allocated, seq_report.allocated);
+            assert_eq!(report.mutator_messages(), seq_report.mutator_messages());
+            assert_eq!(cluster.reclaimed_addrs(), seq.reclaimed_addrs());
+            assert_eq!(cluster.garbage_addrs(), seq.garbage_addrs());
+            assert!(report.net.bytes_sent_total() > 0, "frames carry real bytes");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_site_count() {
+        let scenario = workloads::ring(3);
+        let (report, _) =
+            ParallelCluster::run_seeded(&scenario, parallel_config(64), CausalCollector::new);
+        assert_eq!(report.reclaimed, 3);
+        assert_eq!(report.residual_garbage, 0);
+    }
+
+    #[test]
+    fn baseline_collectors_run_on_the_parallel_driver() {
+        let scenario = workloads::ring(4);
+        let (tracing, _) = ParallelCluster::run_seeded(
+            &scenario,
+            parallel_config(2),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        assert_eq!(tracing.residual_garbage, 0);
+        let (reflisting, _) =
+            ParallelCluster::run_seeded(&scenario, parallel_config(2), RefListingCollector::new);
+        // Reference listing cannot collect the ring's cycle; it must still
+        // terminate and stay safe.
+        assert_eq!(reflisting.safety_violations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers >= 1")]
+    fn zero_workers_is_rejected() {
+        let scenario = workloads::paper_example();
+        let _ =
+            ParallelCluster::run_seeded(&scenario, ClusterConfig::default(), CausalCollector::new);
+    }
+
+    #[test]
+    fn queued_byte_accounting_returns_to_zero() {
+        let scenario = workloads::random_churn(4, 60, 5);
+        let (report, _) =
+            ParallelCluster::run_seeded(&scenario, parallel_config(2), CausalCollector::new);
+        assert_eq!(report.net.queued_bytes(), 0, "every frame was consumed");
+        assert!(report.net.peak_queued_bytes() > 0, "frames were queued");
+        assert!(report.net.control_bytes_sent() > 0);
+    }
+}

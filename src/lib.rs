@@ -56,12 +56,12 @@ pub mod prelude {
     pub use ggd_mutator::generator::{ScenarioSpec, Segment, SegmentWeights};
     pub use ggd_mutator::{workloads, MutatorOp, ObjName, Scenario, Step};
     pub use ggd_net::{
-        FaultPlan, LinkFault, NamedFaultPlan, NetMetrics, SimNetwork, SimNetworkConfig,
-        ThreadedNetwork, Transport,
+        FaultPlan, Frame, LinkFault, NamedFaultPlan, NetMetrics, SimNetwork, SimNetworkConfig,
+        ThreadedNetwork, Transport, WireCodec,
     };
     pub use ggd_sim::{
         CausalCollector, Cluster, ClusterConfig, Collector, DurabilityConfig, DurabilityMode,
-        Oracle, RefListingCollector, RunReport, SiteRuntime, TracingCollector,
+        Oracle, ParallelCluster, RefListingCollector, RunReport, SiteRuntime, TracingCollector,
     };
     pub use ggd_store::{SiteStore, WalRecord};
     pub use ggd_types::{

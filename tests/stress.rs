@@ -134,3 +134,62 @@ fn threaded_churn_survives_killing_and_restarting_two_sites() {
         "recovery must have replayed WAL records"
     );
 }
+
+#[test]
+#[ignore = "parallel-driver crash stress run; opt in with `cargo test --test stress -- --ignored`"]
+fn parallel_driver_survives_killing_and_restarting_two_of_eight_workers() {
+    // The same two-victim crash schedule, but on the worker-per-shard
+    // parallel driver with one worker per site: sites 6 and 7 are torn down
+    // mid-run (their worker keeps only the durable store), frames addressed
+    // to them die as loss while they are gone, and both are rebuilt from
+    // checkpoint + WAL replay. The run must terminate under the hard
+    // timeout — the termination barrier's in-flight credits must drain even
+    // though downed sites consume frames without answering — and every site
+    // must be back up at the end.
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let scenario = workloads::random_churn(8, 240, 23);
+        let config = ClusterConfig {
+            faults: FaultPlan::new()
+                .with_crash(SiteId::new(6), 10, 120)
+                .with_crash(SiteId::new(7), 40, 200),
+            durability: DurabilityConfig::memory().with_checkpoint_every(16),
+            workers: 8,
+            safety_oracle: false,
+            ..ClusterConfig::default()
+        };
+        let (report, cluster) =
+            ParallelCluster::run_seeded(&scenario, config, CausalCollector::new);
+        let recoveries = cluster.recoveries();
+        let up: Vec<bool> = (0..8).map(|i| cluster.site_is_up(SiteId::new(i))).collect();
+        let stats = cluster.store_stats();
+        let _ = tx.send((report, recoveries, up, stats));
+    });
+
+    let (report, recoveries, up, stats) = match rx.recv_timeout(HARD_TIMEOUT) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("parallel crash stress exceeded the hard timeout — the termination barrier deadlocked")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("parallel crash stress worker panicked before reporting; see its output above")
+        }
+    };
+
+    assert!(up.iter().all(|&b| b), "every site must be up at end of run");
+    assert!(
+        recoveries >= 2,
+        "both scheduled crashes must have fired and recovered (got {recoveries})"
+    );
+    assert!(
+        stats.records_replayed > 0,
+        "recovery must have replayed WAL records"
+    );
+    assert!(report.allocated > 0, "the run executed no allocations");
+    assert_eq!(report.sites, 8);
+    assert_eq!(
+        report.net.queued_bytes(),
+        0,
+        "every queued frame must have been consumed or died with a crashed site"
+    );
+}
