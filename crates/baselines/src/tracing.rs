@@ -96,6 +96,22 @@ struct ReportBody {
     transfers_received: LedgerEntries,
 }
 
+/// Strips every mention of a departed site from a report body: its hosted
+/// vertices, edges towards its objects, and ledger entries whose target or
+/// recipient it hosted. Used by the planned-leave path only — after the
+/// reference handoff none of these can correspond to real state.
+fn purge_site_from_body(body: &mut ReportBody, departed: SiteId) {
+    body.vertices
+        .retain(|(vertex, _, _)| vertex.site() != departed);
+    for (_, _, edges) in body.vertices.iter_mut() {
+        edges.retain(|addr| addr.site() != departed);
+    }
+    body.transfers_sent
+        .retain(|((t, r), _)| t.site() != departed && r.site() != departed);
+    body.transfers_received
+        .retain(|((t, r), _)| t.site() != departed && r.site() != departed);
+}
+
 /// The graph-tracing baseline engine.
 ///
 /// Site 0 doubles as the coordinator. Every site eagerly reports its portion
@@ -128,7 +144,11 @@ struct ReportBody {
 pub struct TracingEngine {
     site: SiteId,
     coordinator: SiteId,
-    total_sites: u32,
+    /// Current fleet membership. The consensus barrier waits for exactly
+    /// these sites, so elastic membership flows through here: a joined site
+    /// is added (and polled into any open round), a departed one removed
+    /// (possibly closing a round that was blocked on it).
+    members: BTreeSet<SiteId>,
     epoch: u64,
     last_report: Option<ReportBody>,
     /// This site's ledger of reference transfers it performed.
@@ -151,12 +171,14 @@ pub struct TracingEngine {
 }
 
 impl TracingEngine {
-    /// Creates the engine for `site` in a system of `total_sites` sites.
+    /// Creates the engine for `site` in a system of `total_sites` founding
+    /// sites (sites `0..total_sites`); later joins and departures are fed in
+    /// through [`TracingEngine::add_member`] / [`TracingEngine::remove_member`].
     pub fn new(site: SiteId, total_sites: u32) -> Self {
         TracingEngine {
             site,
             coordinator: SiteId::new(0),
-            total_sites,
+            members: (0..total_sites).map(SiteId::new).collect(),
             epoch: 0,
             last_report: None,
             transfers_sent: BTreeMap::new(),
@@ -194,6 +216,92 @@ impl TracingEngine {
     /// True while the coordinator is waiting for round acknowledgements.
     pub fn round_open(&self) -> bool {
         self.round_acks.is_some()
+    }
+
+    /// The sites the consensus barrier currently waits for.
+    pub fn members(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// A site joined the fleet: the consensus barrier must include it from
+    /// now on. If a round is already open the newcomer is polled into it —
+    /// otherwise the round would close over a site it never heard from.
+    pub fn add_member(&mut self, site: SiteId) {
+        if !self.members.insert(site) {
+            return;
+        }
+        if self.is_coordinator() && self.round_acks.is_some() && site != self.site {
+            self.outgoing
+                .push((site, TracingMessage::RoundPoll { round: self.round }));
+        }
+    }
+
+    /// A site left the fleet. With `purge` (planned leave, references handed
+    /// off) every trace of it is dropped: its report, its entries in other
+    /// stored reports, and this site's own ledger entries touching it — the
+    /// departed site's objects no longer exist, so an unmatched transfer
+    /// towards it can never be stored and must stop pinning its target.
+    /// Without `purge` (eviction) its last report and every ledger entry are
+    /// kept: whatever the evicted site reached stays conservatively pinned —
+    /// residual garbage, never a safety violation.
+    ///
+    /// Either way the site stops counting towards the consensus barrier, so
+    /// a round blocked solely on the departed site completes.
+    pub fn remove_member(&mut self, departed: SiteId, purge: bool) {
+        if !self.members.remove(&departed) {
+            return;
+        }
+        if let Some(acks) = self.round_acks.as_mut() {
+            acks.remove(&departed);
+        }
+        if purge {
+            self.transfers_sent
+                .retain(|&(t, r), _| t.site() != departed && r.site() != departed);
+            self.transfers_received
+                .retain(|&(t, r), _| t.site() != departed && r.site() != departed);
+            if let Some(last) = self.last_report.as_mut() {
+                purge_site_from_body(last, departed);
+            }
+            self.reports.remove(&departed);
+            for body in self.reports.values_mut() {
+                purge_site_from_body(body, departed);
+            }
+            self.already_swept.retain(|addr| addr.site() != departed);
+            self.outgoing.retain(|(to, _)| *to != departed);
+            self.dirty = true;
+        }
+        if self.is_coordinator() {
+            self.finish_round_if_complete();
+            self.open_round_if_needed();
+        }
+    }
+
+    /// True when this engine's state still mentions `site` anywhere —
+    /// membership, stored or own reports (vertices, edges, ledgers), local
+    /// transfer ledgers, swept-set or queued messages. After a purging
+    /// [`TracingEngine::remove_member`] this must be `false` for the
+    /// departed site; the membership oracle pins that.
+    pub fn mentions_site(&self, site: SiteId) -> bool {
+        let body_mentions = |body: &ReportBody| {
+            body.vertices.iter().any(|(vertex, _, edges)| {
+                vertex.site() == site || edges.iter().any(|addr| addr.site() == site)
+            }) || body
+                .transfers_sent
+                .iter()
+                .chain(&body.transfers_received)
+                .any(|((t, r), _)| t.site() == site || r.site() == site)
+        };
+        self.members.contains(&site)
+            || self.reports.contains_key(&site)
+            || self.reports.values().any(body_mentions)
+            || self.last_report.as_ref().is_some_and(body_mentions)
+            || self
+                .transfers_sent
+                .keys()
+                .chain(self.transfers_received.keys())
+                .any(|&(t, r)| t.site() == site || r.site() == site)
+            || self.already_swept.iter().any(|addr| addr.site() == site)
+            || self.outgoing.iter().any(|(to, _)| *to == site)
     }
 
     /// Export hook: this site sent a reference to its local object `target`
@@ -309,6 +417,11 @@ impl TracingEngine {
                 ..
             } => {
                 if self.is_coordinator() {
+                    if !self.members.contains(&site) {
+                        // A straggler report from a departed site: its state
+                        // was already retired (or frozen), don't resurrect it.
+                        return;
+                    }
                     let body = ReportBody {
                         vertices,
                         transfers_sent,
@@ -368,12 +481,15 @@ impl TracingEngine {
         self.dirty = false;
         self.round += 1;
         self.round_acks = Some(BTreeSet::new());
-        for i in 0..self.total_sites {
-            let site = SiteId::new(i);
-            if site != self.site {
-                self.outgoing
-                    .push((site, TracingMessage::RoundPoll { round: self.round }));
-            }
+        let polled: Vec<SiteId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&site| site != self.site)
+            .collect();
+        for site in polled {
+            self.outgoing
+                .push((site, TracingMessage::RoundPoll { round: self.round }));
         }
         // A single-site system has nobody to poll.
         self.finish_round_if_complete();
@@ -382,8 +498,13 @@ impl TracingEngine {
     /// The consensus-gated trace: runs only when every site has acknowledged
     /// the open round.
     fn finish_round_if_complete(&mut self) {
+        let awaited = self
+            .members
+            .iter()
+            .filter(|&&site| site != self.site)
+            .count();
         let complete = match &self.round_acks {
-            Some(acks) => acks.len() as u32 >= self.total_sites.saturating_sub(1),
+            Some(acks) => acks.len() >= awaited,
             None => false,
         };
         if !complete {
@@ -632,6 +753,123 @@ mod tests {
             "the target was never freed: residual garbage, not a violation"
         );
         assert!(engines[0].rounds_started() >= 2, "rounds did run");
+    }
+
+    #[test]
+    fn removing_a_member_closes_a_round_blocked_on_it() {
+        // Same shape as `verdict_requires_acks_from_every_site`, but instead
+        // of resuming, the stalled site is removed from the membership: the
+        // blocked round must complete with the survivors' acks alone.
+        let mut h0 = SiteHeap::new(SiteId::new(0));
+        let mut h1 = SiteHeap::new(SiteId::new(1));
+        let mut engines = vec![
+            TracingEngine::new(SiteId::new(0), 3),
+            TracingEngine::new(SiteId::new(1), 3),
+            TracingEngine::new(SiteId::new(2), 3),
+        ];
+
+        let obj = h1.alloc();
+        h1.register_global_root(obj).unwrap();
+        let obj_addr = h1.addr_of(obj);
+        let root = h0.alloc_local_root();
+        h0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        h0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+
+        engines[0].apply_snapshot(&h0.snapshot());
+        engines[1].apply_snapshot(&h1.snapshot());
+        pump(&mut engines, &[SiteId::new(2)]);
+        assert!(engines[0].round_open(), "round blocked on the stalled site");
+
+        for engine in engines.iter_mut() {
+            engine.remove_member(SiteId::new(2), false);
+        }
+        pump(&mut engines, &[SiteId::new(2)]);
+        assert_eq!(engines[1].take_verdicts(), vec![obj_addr]);
+    }
+
+    #[test]
+    fn purge_unpins_transfers_towards_the_departed_site() {
+        // Site 1 exported `obj` towards a recipient on site 2; the receipt
+        // never ledgered. The unmatched transfer pins `obj` — until site 2
+        // departs in a planned leave and the entry is purged.
+        let mut h1 = SiteHeap::new(SiteId::new(1));
+        let obj = h1.alloc();
+        h1.register_global_root(obj).unwrap();
+        let obj_addr = h1.addr_of(obj);
+        let h0 = SiteHeap::new(SiteId::new(0));
+
+        let mut engines = vec![
+            TracingEngine::new(SiteId::new(0), 3),
+            TracingEngine::new(SiteId::new(1), 3),
+            TracingEngine::new(SiteId::new(2), 3),
+        ];
+        engines[1].on_export(obj_addr, GlobalAddr::new(2, 1));
+        engines[0].apply_snapshot(&h0.snapshot());
+        engines[1].apply_snapshot(&h1.snapshot());
+        let h2 = SiteHeap::new(SiteId::new(2));
+        engines[2].apply_snapshot(&h2.snapshot());
+        pump(&mut engines, &[]);
+        assert!(
+            engines[1].take_verdicts().is_empty(),
+            "unmatched transfer pins the target"
+        );
+
+        for engine in engines.iter_mut() {
+            engine.remove_member(SiteId::new(2), true);
+        }
+        // The purge dirtied the coordinator; a fresh report from site 1
+        // (ledger now clean) lets the next round sweep the object.
+        engines[1].apply_snapshot(&h1.snapshot());
+        pump(&mut engines, &[SiteId::new(2)]);
+        assert_eq!(engines[1].take_verdicts(), vec![obj_addr]);
+    }
+
+    #[test]
+    fn joined_member_is_polled_into_an_open_round() {
+        let mut h0 = SiteHeap::new(SiteId::new(0));
+        let mut h1 = SiteHeap::new(SiteId::new(1));
+        let mut engines = vec![
+            TracingEngine::new(SiteId::new(0), 2),
+            TracingEngine::new(SiteId::new(1), 2),
+        ];
+        let obj = h1.alloc();
+        h1.register_global_root(obj).unwrap();
+        let obj_addr = h1.addr_of(obj);
+        let root = h0.alloc_local_root();
+        h0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        h0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        engines[0].apply_snapshot(&h0.snapshot());
+        engines[1].apply_snapshot(&h1.snapshot());
+
+        // Withhold site 1 so the round stays open, then join site 2: the
+        // newcomer must be polled into the open round and the round must not
+        // close before it acks.
+        pump(&mut engines, &[SiteId::new(1)]);
+        assert!(engines[0].round_open());
+        engines.push(TracingEngine::new(SiteId::new(2), 2));
+        for engine in engines.iter_mut() {
+            engine.add_member(SiteId::new(2));
+        }
+        let polls = engines[0].take_outgoing();
+        assert!(
+            polls
+                .iter()
+                .any(|(to, m)| *to == SiteId::new(2)
+                    && matches!(m, TracingMessage::RoundPoll { .. })),
+            "newcomer polled into the open round"
+        );
+        for (to, message) in polls {
+            engines
+                .iter_mut()
+                .find(|e| e.site() == to)
+                .unwrap()
+                .on_message(message);
+        }
+        // Site 1's original poll was withheld (lost); re-deliver it.
+        let open_round = engines[0].rounds_started();
+        engines[1].on_message(TracingMessage::RoundPoll { round: open_round });
+        pump(&mut engines, &[]);
+        assert_eq!(engines[1].take_verdicts(), vec![obj_addr]);
     }
 
     #[test]

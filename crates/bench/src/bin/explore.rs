@@ -3,7 +3,13 @@
 //! ```sh
 //! cargo run --release -p ggd-bench --bin explore -- --corpus 200 --seed 7
 //! cargo run --release -p ggd-bench --bin explore -- --corpus 20 --self-test
+//! cargo run --release -p ggd-bench --bin explore -- --corpus 200 --membership
 //! ```
+//!
+//! `--membership` switches to the elastic-membership corpus: every triple
+//! gets a join/leave/evict schedule spliced in, draws its fault plan from
+//! the partition matrix (scheduled split-and-heal windows), and runs with
+//! the zero-references-to-departed-sites oracle armed.
 //!
 //! Exit code 0 when the corpus ran clean (violating triples: 0, and —
 //! under `--strict` — no divergences either); 1 otherwise, with every
@@ -43,6 +49,7 @@ fn main() {
         seed: parse_u64(&args, "--seed").unwrap_or(7),
         strict: parse_flag(&args, "--strict"),
         crashes: parse_flag(&args, "--crashes"),
+        membership: parse_flag(&args, "--membership"),
         mode: if self_test {
             RunMode::SabotagedCausal { arm_after: 3 }
         } else {
@@ -52,12 +59,17 @@ fn main() {
     };
 
     println!(
-        "## ggd-explore — differential corpus (corpus={}, seed={}{}{}{})",
+        "## ggd-explore — differential corpus (corpus={}, seed={}{}{}{}{})",
         config.corpus,
         config.seed,
         if config.strict { ", strict" } else { "" },
         if config.crashes {
             ", CRASH MATRIX + durability"
+        } else {
+            ""
+        },
+        if config.membership {
+            ", MEMBERSHIP + PARTITION MATRIX + durability"
         } else {
             ""
         },

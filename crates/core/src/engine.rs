@@ -292,6 +292,27 @@ impl CausalEngine {
             .collect();
         dropped += self.log.drop_rows(&inert_local);
 
+        // 4. Stale root-status stamps. A stamp is only consulted for
+        // vertices carrying a *live* entry in a closure, and every closure
+        // entry originates in a row's vector entry — so once no kept row
+        // mentions a vertex (and no edge or holder bookkeeping still
+        // tracks it), its stamp can never influence a garbage test here,
+        // and no outgoing payload of this engine can carry a live entry
+        // that would need it bundled. Dropping it bounds the stamp map by
+        // the live cross-site graph instead of the history of every global
+        // root that ever existed.
+        let mut keep: BTreeSet<VertexId> = BTreeSet::new();
+        for (vertex, row) in self.log.rows() {
+            keep.insert(vertex);
+            keep.extend(row.vector.iter().map(|(q, _)| q));
+        }
+        keep.extend(self.edge_refcounts.keys().map(|&a| VertexId::Object(a)));
+        keep.extend(self.inbound_holders.keys().map(|&a| VertexId::Object(a)));
+        keep.extend(self.inbound_holders.values().flatten().copied());
+        keep.extend(self.locally_rooted.iter().copied());
+        keep.extend(self.static_roots.iter().copied());
+        self.log.retain_stamps(&keep);
+
         // The circulated-closure memos of every dropped subject are equally
         // final.
         dead.extend(dead_remote);
@@ -300,6 +321,111 @@ impl CausalEngine {
             self.last_closure.retain(|vertex, _| !dead.contains(vertex));
         }
         dropped
+    }
+
+    /// Retires every trace of a site that left the fleet through a
+    /// *planned departure* — the vector-retirement step of elastic
+    /// membership (ROADMAP item 3, first concrete instance).
+    ///
+    /// By the time this runs, the departure protocol has already (a)
+    /// quiesced the cluster, so no message from the departed site is in
+    /// flight, and (b) severed this site's heap references towards the
+    /// departed site via the reference handoff, so no real edge in either
+    /// direction survives. What remains is pure bookkeeping: rows held on
+    /// behalf of departed-hosted vertices, entries keyed by them
+    /// (placeholders recorded at export time, holder entries, tombstones),
+    /// root-status stamps, and queued messages that can no longer be
+    /// delivered. All of it is dropped, exactly as
+    /// [`CausalEngine::compact_detected`] drops finally-dead vertices: an
+    /// entry keyed by a departed vertex can never again witness a real live
+    /// root path, because the departed site's objects no longer exist.
+    ///
+    /// Removing live entries can only shrink closures, so local subjects
+    /// are re-evaluated for newly exposed garbage afterwards — objects kept
+    /// alive solely by the departed site's (now re-homed or dissolved)
+    /// references fall out here instead of lingering as residual.
+    ///
+    /// Returns the number of log rows dropped.
+    pub fn retire_site(&mut self, departed: SiteId) -> usize {
+        debug_assert_ne!(departed, self.site, "a site cannot retire itself");
+
+        // 1. Every departed-hosted vertex this engine has ever heard of.
+        let mut dead: BTreeSet<VertexId> = BTreeSet::new();
+        dead.insert(VertexId::SiteRoot(departed));
+        for (vertex, row) in self.log.rows() {
+            if vertex.site() == departed {
+                dead.insert(vertex);
+            }
+            for (q, _) in row.vector.iter() {
+                if q.site() == departed {
+                    dead.insert(q);
+                }
+            }
+        }
+        for &vertex in self.log.root_flags().keys() {
+            if vertex.site() == departed {
+                dead.insert(vertex);
+            }
+        }
+
+        // 2. Drop their rows, erase entries keyed by them everywhere, and
+        // forget their root stamps.
+        let dropped = self.log.prune_vertices(&dead);
+
+        // 3. Auxiliary state: counters and circulated-closure memos for
+        // departed subjects, dead entries inside remaining memos, edges and
+        // holder bookkeeping towards departed-hosted targets, and queued
+        // messages addressed to the departed site.
+        self.counters.retain(|vertex, _| vertex.site() != departed);
+        self.last_closure
+            .retain(|vertex, _| vertex.site() != departed);
+        for closure in self.last_closure.values_mut() {
+            for &vertex in &dead {
+                closure.set(vertex, Timestamp::Never);
+            }
+        }
+        for targets in self.edges_out.values_mut() {
+            targets.retain(|addr| addr.site() != departed);
+        }
+        self.edges_out.retain(|_, targets| !targets.is_empty());
+        self.rebuild_edge_refcounts();
+        self.inbound_holders
+            .retain(|target, _| target.site() != departed);
+        self.outgoing.retain(|out| out.to_site != departed);
+
+        // 4. Shrunken closures may expose garbage that only the departed
+        // site's references kept alive.
+        let subjects: Vec<VertexId> = self
+            .log
+            .rows()
+            .map(|(vertex, _)| vertex)
+            .filter(|vertex| matches!(vertex, VertexId::Object(addr) if addr.site() == self.site))
+            .collect();
+        for vertex in subjects {
+            let closure = self.log.closure(vertex);
+            self.maybe_declare_garbage(vertex, &closure);
+        }
+        dropped
+    }
+
+    /// True when this engine still mentions `site` anywhere — log rows or
+    /// entries, root stamps, closure memos, edges, holder bookkeeping or
+    /// queued messages. After [`CausalEngine::retire_site`] this must be
+    /// `false` for the departed site; the membership equivalence oracle
+    /// pins that.
+    pub fn mentions_site(&self, site: SiteId) -> bool {
+        self.log.rows().any(|(vertex, row)| {
+            vertex.site() == site || row.vector.iter().any(|(q, _)| q.site() == site)
+        }) || self.log.root_flags().keys().any(|v| v.site() == site)
+            || self.last_closure.iter().any(|(vertex, closure)| {
+                vertex.site() == site || closure.iter().any(|(q, _)| q.site() == site)
+            })
+            || self
+                .edges_out
+                .values()
+                .any(|targets| targets.iter().any(|a| a.site() == site))
+            || self.inbound_holders.keys().any(|a| a.site() == site)
+            || self.outgoing.iter().any(|out| out.to_site == site)
     }
 
     // ------------------------------------------------------------------
@@ -588,6 +714,21 @@ impl CausalEngine {
             // Misrouted message: ignore (robustness over panicking).
             return;
         }
+        if let VertexId::Object(addr) = to {
+            if self.detected.contains(&addr) {
+                // News for a vertex already declared garbage: the object is
+                // as good as deleted, so there is nothing to improve and
+                // nobody downstream to tell — its out-edges were finalised
+                // with explicit destruction messages at detection time.
+                // Processing it anyway would re-create the compacted row
+                // *without* the vertex's own entry, and re-propagating that
+                // row reads as edge-destruction news to every receiver
+                // (the sender entry is absent, hence not live), bumping
+                // their counters and re-improving their closures — a
+                // message livelock that keeps `settle` spinning forever.
+                return;
+            }
+        }
         self.log.absorb_root_flags(&payload);
 
         let news = payload.vector.get(from);
@@ -689,11 +830,24 @@ impl CausalEngine {
 
     fn outgoing_payload(&self, vector: DependencyVector) -> RootedVector {
         let mut payload = RootedVector::from_vector(vector);
-        for (&vertex, &(as_of, is_root)) in self.log.root_flags() {
-            payload.stamp_root(vertex, as_of, is_root);
-        }
-        for &vertex in &self.locally_rooted {
-            payload.stamp_root(vertex, self.counter(vertex).max(1), true);
+        // Bundle exactly the stamps the shipped entries depend on: the
+        // receiver only ever consults root status for vertices carrying a
+        // live entry in one of its closures, and every such entry arrives
+        // inside some payload vector — so stamping the mentioned vertices
+        // keeps the "knowledge arrives no later than the entries that
+        // depend on it" invariant while bounding the message by the
+        // vector's width. Shipping the whole stamp map instead would make
+        // every message (and so every WAL record) grow with the number of
+        // global roots that ever existed, and would re-teach peers stamps
+        // they already compacted away (the soak test pins both).
+        let mentioned: Vec<VertexId> = payload.vector.iter().map(|(q, _)| q).collect();
+        for vertex in mentioned {
+            if let Some(&(as_of, is_root)) = self.log.root_flags().get(&vertex) {
+                payload.stamp_root(vertex, as_of, is_root);
+            }
+            if self.locally_rooted.contains(&vertex) {
+                payload.stamp_root(vertex, self.counter(vertex).max(1), true);
+            }
         }
         payload
     }
@@ -1052,6 +1206,47 @@ mod tests {
         }
         // Deliver a duplicate as well so the "no change" path is exercised.
         assert!(e1.take_verdicts().is_empty());
+    }
+
+    #[test]
+    fn retire_site_erases_every_trace_and_unblocks_verdicts() {
+        // Same setup as `unresolved_placeholder_blocks_verdict`: the object
+        // was exported to site 9 whose vector never arrives, so the verdict
+        // is vetoed. When site 9 departs through a planned leave, its
+        // placeholder entry is retired and the verdict must fall out.
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        let s9 = SiteId::new(9);
+        let mut heap0 = SiteHeap::new(s0);
+        let mut heap1 = SiteHeap::new(s1);
+        let mut e0 = CausalEngine::new(s0);
+        let mut e1 = CausalEngine::new(s1);
+
+        let obj = heap1.alloc();
+        heap1.register_global_root(obj).unwrap();
+        let obj_addr = heap1.addr_of(obj);
+        e1.on_export(obj_addr, VertexId::SiteRoot(s0));
+        e1.on_export(obj_addr, VertexId::object(9, 1));
+        e1.apply_snapshot(&heap1.snapshot());
+
+        let root = heap0.alloc_local_root();
+        heap0.add_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+        heap0.remove_ref(root, ObjRef::Remote(obj_addr)).unwrap();
+        e0.apply_snapshot(&heap0.snapshot());
+        for out in e0.take_outgoing() {
+            e1.on_message(out.message);
+        }
+        assert!(e1.take_verdicts().is_empty(), "placeholder vetoes");
+        assert!(e1.mentions_site(s9));
+
+        e1.retire_site(s9);
+        assert!(!e1.mentions_site(s9), "no trace of the departed site");
+        assert_eq!(
+            e1.take_verdicts(),
+            vec![obj_addr],
+            "retiring the departed placeholder unblocks the verdict"
+        );
     }
 
     #[test]

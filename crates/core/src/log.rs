@@ -194,6 +194,38 @@ impl DkLog {
         before - self.rows.len()
     }
 
+    /// Drops every root-status stamp — log-level and per-row — for
+    /// vertices *not* in `keep`. Returns the number of stamps dropped.
+    ///
+    /// Root stamps are only ever consulted for vertices carrying a *live*
+    /// entry in some closure, and every closure entry originates in a
+    /// row's vector entry, so a stamp for a vertex no row mentions is pure
+    /// dead weight — yet, left alone, the stamp map grows by one entry for
+    /// every global root that ever existed (it rides on every outgoing
+    /// payload, so the creep multiplies into message and WAL bytes; the
+    /// soak test pins this). The caller supplies the keep-set so engine
+    /// bookkeeping (edges, holders, local roots) can be included
+    /// conservatively.
+    pub fn retain_stamps(&mut self, keep: &std::collections::BTreeSet<VertexId>) -> usize {
+        let before: usize = self.root_flags.len()
+            + self
+                .rows
+                .values()
+                .map(|row| row.root_flags.len())
+                .sum::<usize>();
+        self.root_flags.retain(|vertex, _| keep.contains(vertex));
+        for row in self.rows.values_mut() {
+            row.root_flags.retain(|vertex, _| keep.contains(vertex));
+        }
+        before
+            - self.root_flags.len()
+            - self
+                .rows
+                .values()
+                .map(|row| row.root_flags.len())
+                .sum::<usize>()
+    }
+
     /// Drops whole rows without touching entries keyed by their subjects in
     /// other rows — the compaction step for dead *remote* rows, whose
     /// tombstone-only contents are safe to forget but whose subject may

@@ -32,6 +32,15 @@ pub struct ExplorerConfig {
     /// medium: every site that crashes recovers by checkpoint-load + WAL
     /// replay mid-run. The classic matrix keeps durability off.
     pub crashes: bool,
+    /// When true, every triple gets a deterministic elastic-membership
+    /// schedule spliced in (joins, planned leaves, evictions — see
+    /// [`splice_membership`](ggd_mutator::generator::splice_membership)),
+    /// draws its fault plan from the *partition* matrix
+    /// ([`FaultPlan::partition_matrix`]), biases generation toward the
+    /// zipf hot-churn segment, and runs on the in-memory durable medium so
+    /// joiners exercise the WAL-from-first-input path. Takes precedence
+    /// over `crashes`.
+    pub membership: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -43,6 +52,7 @@ impl Default for ExplorerConfig {
             strict: false,
             mode: RunMode::Standard,
             crashes: false,
+            membership: false,
         }
     }
 }
@@ -230,12 +240,41 @@ pub fn crash_corpus_triple(
     (spec, triple)
 }
 
+/// Builds the `index`-th triple of the *membership* corpus: the generated
+/// scenarios of [`corpus_triple`] with generation biased toward the
+/// zipf-skewed hot-churn segment, a deterministic membership schedule
+/// spliced in, fault plans drawn from the partition matrix
+/// (split-and-heal windows), and the in-memory durable medium so a
+/// mid-run joiner WAL-logs from its first input. The full matrix —
+/// join/leave/evict × partition windows × seeds — runs differentially
+/// across all three collectors with the zero-references-to-departed-sites
+/// oracle armed.
+pub fn membership_corpus_triple(
+    seed: u64,
+    index: u32,
+    weights: &SegmentWeights,
+) -> (ScenarioSpec, Triple) {
+    let weights = SegmentWeights {
+        hot_churn: weights.hot_churn.max(2),
+        ..*weights
+    };
+    let (spec, mut triple) = corpus_triple(seed, index, &weights);
+    let triple_seed = mix(seed, u64::from(index));
+    triple.scenario = ggd_mutator::generator::splice_membership(&triple.scenario, triple_seed);
+    let matrix = FaultPlan::partition_matrix(spec.sites);
+    triple.fault = matrix[index as usize % matrix.len()].clone();
+    triple.durability = DurabilityConfig::memory().with_checkpoint_every(16);
+    (spec, triple)
+}
+
 /// Runs the whole exploration described by `config`.
 pub fn explore(config: &ExplorerConfig) -> Exploration {
     let mut stats = CorpusStats::default();
     let mut failures = Vec::new();
     for index in 0..config.corpus {
-        let (spec, triple) = if config.crashes {
+        let (spec, triple) = if config.membership {
+            membership_corpus_triple(config.seed, index, &config.weights)
+        } else if config.crashes {
             crash_corpus_triple(config.seed, index, &config.weights)
         } else {
             corpus_triple(config.seed, index, &config.weights)

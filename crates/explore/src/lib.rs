@@ -50,7 +50,8 @@ mod saboteur;
 mod shrink;
 
 pub use explorer::{
-    corpus_triple, explore, CollectorTally, CorpusStats, Exploration, ExplorerConfig, FailedTriple,
+    corpus_triple, explore, membership_corpus_triple, CollectorTally, CorpusStats, Exploration,
+    ExplorerConfig, FailedTriple,
 };
 pub use repro::reproducer;
 pub use runner::{run_triple, CheckFailure, RunMode, Triple, TripleOutcome};

@@ -6,10 +6,10 @@ use std::collections::BTreeSet;
 use ggd_mutator::{ObjName, Scenario};
 use ggd_net::{NamedFaultPlan, SimNetworkConfig};
 use ggd_sim::{
-    CausalCollector, Cluster, ClusterConfig, DurabilityConfig, RefListingCollector, RunReport,
-    TracingCollector,
+    CausalCollector, Cluster, ClusterConfig, Collector, DurabilityConfig, RefListingCollector,
+    RunReport, TracingCollector,
 };
-use ggd_types::GlobalAddr;
+use ggd_types::{GlobalAddr, SiteId};
 
 use crate::saboteur::SaboteurCollector;
 
@@ -108,6 +108,20 @@ pub enum CheckFailure {
         /// Garbage present under causal but absent under tracing.
         extra: Vec<GlobalAddr>,
     },
+    /// After a *planned* leave, some surviving site's collector state or
+    /// heap still referenced the departed site. The reference-handoff
+    /// protocol must leave zero trace cluster-wide, so this is a hard
+    /// violation for every collector. (Evicted sites are exempt: eviction
+    /// is a permanent crash and residual references to it are the expected
+    /// conservative outcome.)
+    DepartedSiteReferenced {
+        /// Which collector.
+        collector: String,
+        /// The site that completed a planned leave.
+        departed: SiteId,
+        /// The surviving sites still mentioning it.
+        by: Vec<SiteId>,
+    },
 }
 
 impl CheckFailure {
@@ -119,6 +133,7 @@ impl CheckFailure {
             CheckFailure::RefListingReclaimedCycle { .. } => "reflisting-cycle-reclaim",
             CheckFailure::NonDeterministicReplay { .. } => "nondeterministic-replay",
             CheckFailure::CausalResidualExceedsTracing { .. } => "causal-residual-exceeds-tracing",
+            CheckFailure::DepartedSiteReferenced { .. } => "departed-site-referenced",
         }
     }
 
@@ -156,6 +171,25 @@ impl TripleOutcome {
     }
 }
 
+/// Collects [`CheckFailure::DepartedSiteReferenced`] entries for every
+/// planned-leave departure some surviving site still mentions. Evicted
+/// sites are not checked: their residuals are the expected conservative
+/// outcome of a permanent crash.
+fn departed_ref_failures<C: Collector>(cluster: &Cluster<C>, collector: &str) -> Vec<CheckFailure> {
+    cluster
+        .departed_sites()
+        .iter()
+        .filter_map(|&departed| {
+            let by = cluster.sites_mentioning(departed);
+            (!by.is_empty()).then(|| CheckFailure::DepartedSiteReferenced {
+                collector: collector.to_owned(),
+                departed,
+                by,
+            })
+        })
+        .collect()
+}
+
 /// Runs one triple through every collector and applies the differential
 /// checks. When any check fails, the failing collectors are re-run once and
 /// the two reports compared, asserting replay determinism.
@@ -166,11 +200,13 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
 
     let loss_free = triple.fault.plan.is_loss_free();
     // The two causal variants build different cluster types, so the hook
-    // results (report + oracle garbage set) are extracted inside. The
-    // oracle reachability pass only matters for the loss-free subset check,
-    // so it is skipped on lossy plans and on determinism re-runs — the
-    // shrinker calls this hundreds of times per minimization.
-    let run_causal = |mode: RunMode, want_garbage: bool| -> (RunReport, BTreeSet<GlobalAddr>) {
+    // results (report + oracle garbage set + membership-oracle failures)
+    // are extracted inside. The oracle reachability pass only matters for
+    // the loss-free subset check, so it is skipped on lossy plans and on
+    // determinism re-runs — the shrinker calls this hundreds of times per
+    // minimization.
+    type CausalRun = (RunReport, BTreeSet<GlobalAddr>, Vec<CheckFailure>);
+    let run_causal = |mode: RunMode, want_garbage: bool| -> CausalRun {
         match mode {
             RunMode::Standard => {
                 let (report, cluster) =
@@ -180,7 +216,8 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
                 } else {
                     BTreeSet::new()
                 };
-                (report, garbage)
+                let departed = departed_ref_failures(&cluster, &report.collector);
+                (report, garbage, departed)
             }
             RunMode::SabotagedCausal { arm_after } => {
                 let (report, cluster) =
@@ -192,14 +229,20 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
                 } else {
                     BTreeSet::new()
                 };
-                (report, garbage)
+                let departed = departed_ref_failures(&cluster, &report.collector);
+                (report, garbage, departed)
             }
         }
     };
 
-    let (causal_report, causal_garbage) = run_causal(mode, loss_free);
+    let (causal_report, causal_garbage, causal_departed) = run_causal(mode, loss_free);
+    failures.extend(causal_departed);
     let (tracing_report, tracing_cluster) =
         Cluster::run_seeded(scenario, triple.config(), TracingCollector::factory(sites));
+    failures.extend(departed_ref_failures(
+        &tracing_cluster,
+        &tracing_report.collector,
+    ));
 
     for (name, report) in [
         (causal_report.collector.clone(), &causal_report),
@@ -214,7 +257,10 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
     }
 
     let mut reflisting_report = None;
-    if loss_free {
+    // An eviction is a permanent crash: in-flight messages to the evicted
+    // site are lost no matter what the fault plan says, so the
+    // loss-free-only cross-checks are skipped for evicting scenarios.
+    if loss_free && !scenario.has_evict() {
         // Comprehensiveness ordering: whatever tracing reclaims on a
         // loss-free plan, the causal engine must reclaim too — i.e. causal
         // residual ⊆ tracing residual, compared as concrete address sets
@@ -241,11 +287,18 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
                 violations: rl_report.safety_violations,
             });
         }
-        let reclaimed: &BTreeSet<GlobalAddr> = rl_cluster.reclaimed_addrs();
-        for &name in &triple.cyclic {
-            if let Some(addr) = rl_cluster.addr_of(name) {
-                if reclaimed.contains(&addr) {
-                    failures.push(CheckFailure::RefListingReclaimedCycle { name, addr });
+        failures.extend(departed_ref_failures(&rl_cluster, &rl_report.collector));
+        // The `cyclic` metadata describes the scenario as generated; a
+        // departure can legitimately turn a listed member into reclaimable
+        // acyclic garbage (its cycle loses the departed edge at handoff),
+        // so the boundary check only applies to membership-free scenarios.
+        if !scenario.has_membership() {
+            let reclaimed: &BTreeSet<GlobalAddr> = rl_cluster.reclaimed_addrs();
+            for &name in &triple.cyclic {
+                if let Some(addr) = rl_cluster.addr_of(name) {
+                    if reclaimed.contains(&addr) {
+                        failures.push(CheckFailure::RefListingReclaimedCycle { name, addr });
+                    }
                 }
             }
         }
@@ -256,7 +309,7 @@ pub fn run_triple(triple: &Triple, mode: RunMode) -> TripleOutcome {
     // reproduce bit-identical reports, otherwise the reproducer we print
     // would be worthless.
     if !failures.is_empty() {
-        let (causal_again, _) = run_causal(mode, false);
+        let (causal_again, _, _) = run_causal(mode, false);
         if causal_again != causal_report {
             failures.push(CheckFailure::NonDeterministicReplay {
                 collector: causal_report.collector.clone(),

@@ -100,6 +100,14 @@ impl Collector for SaboteurCollector {
         self.inner.on_message(from, message);
     }
 
+    fn on_membership(&mut self, ann: &ggd_sim::MembershipAnnouncement) {
+        self.inner.on_membership(ann);
+    }
+
+    fn mentions_site(&self, site: SiteId) -> bool {
+        self.inner.mentions_site(site)
+    }
+
     fn take_outgoing(&mut self) -> Vec<(SiteId, Self::Msg)> {
         self.inner.take_outgoing()
     }

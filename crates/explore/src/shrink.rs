@@ -24,16 +24,26 @@ use crate::runner::{run_triple, RunMode, Triple};
 ///   nor an object a kept send previously exported. A real mutator cannot
 ///   address a message to such an object, and the causal engine's
 ///   comprehensiveness claim only covers legal computations.
+/// * membership events that no longer describe a fleet change: a `Join`
+///   of a site that is already a member (or below the `founding` count),
+///   or a departure of a site that is not currently a member. Kept
+///   departures mark their site *departed*; later `Alloc`s on it are
+///   dropped (the drivers would skip them anyway, but a scenario that
+///   never replays them shrinks further).
 ///
-/// One forward pass suffices: every tracked set only grows.
-pub fn sanitize(steps: &[Step]) -> Vec<Step> {
-    use ggd_mutator::MutatorOp;
+/// One forward pass suffices: every tracked set only grows (sites move
+/// monotonically founding → active → departed).
+pub fn sanitize(founding: u32, steps: &[Step]) -> Vec<Step> {
+    use ggd_mutator::{MembershipKind, MutatorOp};
     use std::collections::BTreeMap;
 
     let mut defined: BTreeSet<ObjName> = BTreeSet::new();
     let mut host: BTreeMap<ObjName, ggd_types::SiteId> = BTreeMap::new();
     let mut anchored: BTreeSet<ObjName> = BTreeSet::new();
     let mut holders: BTreeMap<ObjName, BTreeSet<ggd_types::SiteId>> = BTreeMap::new();
+    let mut active: BTreeSet<ggd_types::SiteId> =
+        (0..founding).map(ggd_types::SiteId::new).collect();
+    let mut departed: BTreeSet<ggd_types::SiteId> = BTreeSet::new();
     let mut kept = Vec::with_capacity(steps.len());
     for step in steps {
         match step {
@@ -43,6 +53,9 @@ pub fn sanitize(steps: &[Step]) -> Vec<Step> {
                         site, local_root, ..
                     } = op
                     {
+                        if !active.contains(site) {
+                            continue;
+                        }
                         defined.insert(name);
                         host.insert(name, *site);
                         holders.entry(name).or_default().insert(*site);
@@ -75,19 +88,64 @@ pub fn sanitize(steps: &[Step]) -> Vec<Step> {
                 kept.push(*step);
             }
             Step::Settle => kept.push(*step),
+            Step::Membership(ev) => {
+                let legal = match ev.kind {
+                    MembershipKind::Join => {
+                        ev.site.index() >= founding
+                            && !active.contains(&ev.site)
+                            && !departed.contains(&ev.site)
+                    }
+                    MembershipKind::PlannedLeave | MembershipKind::Evict => {
+                        active.contains(&ev.site)
+                    }
+                };
+                if !legal {
+                    continue;
+                }
+                match ev.kind {
+                    MembershipKind::Join => {
+                        active.insert(ev.site);
+                    }
+                    MembershipKind::PlannedLeave | MembershipKind::Evict => {
+                        active.remove(&ev.site);
+                        departed.insert(ev.site);
+                    }
+                }
+                kept.push(*step);
+            }
         }
     }
     kept
 }
 
-/// The smallest site count that can host the steps (every referenced site
-/// index must stay in range). At least 2 — a cluster needs a peer.
-fn min_site_count(steps: &[Step]) -> u32 {
+/// The smallest *founding* site count that can host the steps: every site
+/// an op or a departure references must be in range unless a kept `Join`
+/// introduces it mid-run. At least 2 — a cluster needs a peer.
+pub(crate) fn founding_site_count(steps: &[Step]) -> u32 {
+    use ggd_mutator::MembershipKind;
+    let joined: BTreeSet<u32> = steps
+        .iter()
+        .filter_map(|step| match step {
+            Step::Membership(ev) if ev.kind == MembershipKind::Join => Some(ev.site.index()),
+            _ => None,
+        })
+        .collect();
     steps
         .iter()
         .filter_map(|step| match step {
-            Step::Op(op) => op.sites().iter().map(|s| s.index() + 1).max(),
-            Step::Settle => None,
+            Step::Op(op) => op
+                .sites()
+                .iter()
+                .map(|s| s.index())
+                .filter(|i| !joined.contains(i))
+                .map(|i| i + 1)
+                .max(),
+            Step::Membership(ev)
+                if ev.kind != MembershipKind::Join && !joined.contains(&ev.site.index()) =>
+            {
+                Some(ev.site.index() + 1)
+            }
+            _ => None,
         })
         .max()
         .unwrap_or(0)
@@ -95,8 +153,14 @@ fn min_site_count(steps: &[Step]) -> u32 {
 }
 
 fn rebuild(triple: &Triple, steps: Vec<Step>) -> Triple {
-    let steps = sanitize(&steps);
-    let site_count = min_site_count(&steps);
+    // The founding count and the sanitize pass are interdependent (a Join
+    // is only legal at or above the founding count), so the count is fixed
+    // before the pass and re-tightened after: kept Joins sit at or above
+    // the pre-pass count, and the post-pass count can only be lower, so
+    // the re-tightening never invalidates a kept Join.
+    let founding = founding_site_count(&steps);
+    let steps = sanitize(founding, &steps);
+    let site_count = founding_site_count(&steps);
     Triple {
         scenario: Scenario::from_steps(site_count, steps),
         ..triple.clone()
@@ -219,13 +283,15 @@ pub fn shrink(triple: &Triple, mode: RunMode, kind: &str) -> Triple {
         chunk = (chunk / 2).max(1);
     }
 
-    // Phase 3: drop whole sites (every op naming the site; ops that used
-    // its objects fall to sanitize).
-    let sites: Vec<u32> = (0..best.scenario.site_count()).rev().collect();
+    // Phase 3: drop whole sites (every op or membership event naming the
+    // site; ops that used its objects fall to sanitize). Joined sites are
+    // candidates too — `max_site_count` covers them.
+    let sites: Vec<u32> = (0..best.scenario.max_site_count()).rev().collect();
     for site in sites {
         let touches: bool = best.scenario.steps().iter().any(|step| match step {
             Step::Op(op) => op.sites().iter().any(|s| s.index() == site),
             Step::Settle => false,
+            Step::Membership(ev) => ev.site.index() == site,
         });
         if !touches {
             continue;
@@ -237,6 +303,7 @@ pub fn shrink(triple: &Triple, mode: RunMode, kind: &str) -> Triple {
             .filter(|step| match step {
                 Step::Op(op) => op.sites().iter().all(|s| s.index() != site),
                 Step::Settle => true,
+                Step::Membership(ev) => ev.site.index() != site,
             })
             .copied()
             .collect();

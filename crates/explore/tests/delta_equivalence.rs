@@ -76,6 +76,7 @@ fn pipelines_agree_under_heavy_churn_and_faults() {
         island: 1,
         hub: 1,
         churn: 6,
+        hot_churn: 0,
     };
     for index in 0..12u32 {
         let (_spec, triple) = corpus_triple(1312, index, &weights);

@@ -125,7 +125,7 @@ fn sanitize_enforces_replayability_and_mutator_legality() {
         }),
         Step::Settle,
     ];
-    let kept = sanitize(&steps);
+    let kept = sanitize(2, &steps);
     assert_eq!(kept.len(), 5, "only the undefined-name link is dropped");
 
     // A send whose sender never held the target is dropped.
@@ -146,7 +146,11 @@ fn sanitize_enforces_replayability_and_mutator_legality() {
             target: remote,
         }),
     ];
-    assert_eq!(sanitize(&forged).len(), 2, "site 0 cannot forge s1's ref");
+    assert_eq!(
+        sanitize(2, &forged).len(),
+        2,
+        "site 0 cannot forge s1's ref"
+    );
 
     // A send to an un-anchored recipient is dropped.
     let unanchored = vec![
@@ -166,7 +170,11 @@ fn sanitize_enforces_replayability_and_mutator_legality() {
             target: remote,
         }),
     ];
-    assert_eq!(sanitize(&unanchored).len(), 2, "nobody can address `root`");
+    assert_eq!(
+        sanitize(2, &unanchored).len(),
+        2,
+        "nobody can address `root`"
+    );
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! The membership corpus end-to-end: elastic joins, planned leaves and
+//! evictions under scheduled split-and-heal partition windows, run
+//! differentially across all three collectors with the
+//! zero-references-to-departed-sites oracle armed, plus the shrinker
+//! self-test over membership schedules and the sequential/parallel driver
+//! equivalence pin for planned departures.
+
+use std::collections::BTreeSet;
+
+use ggd_explore::{explore, membership_corpus_triple, run_triple, ExplorerConfig, RunMode};
+use ggd_mutator::generator::SegmentWeights;
+use ggd_mutator::MembershipKind;
+use ggd_sim::{CausalCollector, Cluster, ClusterConfig, ParallelCluster, TracingCollector};
+use ggd_types::SiteId;
+
+/// Seed pinned so the corpus below keeps covering every membership kind
+/// and every partition-matrix entry (asserted by the coverage test).
+const PINNED_SEED: u64 = 0xE1A5;
+
+#[test]
+fn membership_corpus_runs_clean_and_deterministically() {
+    let config = ExplorerConfig {
+        corpus: 24,
+        seed: PINNED_SEED,
+        membership: true,
+        ..ExplorerConfig::default()
+    };
+    let first = explore(&config);
+    assert_eq!(first.stats.triples, 24);
+    assert_eq!(
+        first.stats.violating_triples, 0,
+        "membership must stay safe and leave no departed references: {:?}",
+        first.stats.failures
+    );
+    assert!(first.failures.is_empty());
+    assert!(first.stats.collectors.contains_key("causal"));
+    assert!(first.stats.collectors.contains_key("tracing"));
+    assert!(
+        first.stats.collectors.contains_key("reflisting"),
+        "loss-free non-evicting triples must still run reference listing"
+    );
+    assert!(
+        first.stats.segments.contains_key("hot-churn"),
+        "the membership corpus biases toward the zipf segment"
+    );
+
+    let second = explore(&config);
+    assert_eq!(first.stats, second.stats, "same seed, same verdict counts");
+}
+
+#[test]
+fn membership_corpus_covers_every_kind_and_partition_plan() {
+    let weights = SegmentWeights::default();
+    let mut kinds: BTreeSet<MembershipKind> = BTreeSet::new();
+    let mut plans: BTreeSet<String> = BTreeSet::new();
+    let mut partitioned = 0u32;
+    for index in 0..24u32 {
+        let (_, triple) = membership_corpus_triple(PINNED_SEED, index, &weights);
+        assert!(
+            triple.scenario.has_membership(),
+            "a schedule is always spliced"
+        );
+        assert!(
+            triple.durability.is_on(),
+            "joiners must get a durable medium"
+        );
+        kinds.extend(triple.scenario.membership_events().map(|ev| ev.kind));
+        plans.insert(triple.fault.name.clone());
+        if !triple.fault.plan.is_loss_free() {
+            partitioned += 1;
+        }
+    }
+    assert_eq!(
+        kinds.len(),
+        3,
+        "join, leave and evict all appear: {kinds:?}"
+    );
+    assert!(
+        plans.len() >= 4,
+        "the partition matrix must rotate through its entries: {plans:?}"
+    );
+    assert!(
+        partitioned >= 12,
+        "most triples run under partition windows"
+    );
+}
+
+/// The shrinker self-test over membership schedules: a deliberately unsafe
+/// sweep injected into the membership corpus must be caught, minimized
+/// without desyncing the membership schedule (sanitize keeps only legal
+/// join/leave/evict sequences), and printed as a reproducer whose shrunk
+/// triple still fails for the reported reason.
+#[test]
+fn injected_unsafe_sweep_shrinks_under_membership_schedules() {
+    let config = ExplorerConfig {
+        corpus: 8,
+        seed: PINNED_SEED,
+        membership: true,
+        mode: RunMode::SabotagedCausal { arm_after: 2 },
+        ..ExplorerConfig::default()
+    };
+    let exploration = explore(&config);
+    assert!(
+        exploration.stats.violating_triples > 0,
+        "the saboteur must be caught under membership schedules"
+    );
+    for failure in &exploration.failures {
+        assert!(failure.reproducer.contains("#[test]"));
+        let outcome = run_triple(&failure.shrunk, config.mode);
+        assert!(
+            outcome.has_kind(failure.kind),
+            "triple #{} stopped failing after shrinking",
+            failure.index
+        );
+        // A surviving membership schedule must be printed as builder calls.
+        if failure.shrunk.scenario.has_membership() {
+            assert!(
+                failure.reproducer.contains(".join(")
+                    || failure.reproducer.contains(".planned_leave(")
+                    || failure.reproducer.contains(".evict("),
+                "membership steps must appear in the reproducer"
+            );
+        }
+    }
+}
+
+/// The explorer-corpus equivalence pin for the handoff invariant: on every
+/// reliable membership triple, the sequential and parallel drivers must
+/// reclaim the same objects, leave the same residual garbage, and both
+/// finish with *zero* references to every site that completed a planned
+/// leave.
+#[test]
+fn planned_departures_leave_zero_references_on_both_drivers() {
+    let weights = SegmentWeights::default();
+    let mut checked_departures = 0u32;
+    for index in 0..24u32 {
+        let (_, triple) = membership_corpus_triple(PINNED_SEED, index, &weights);
+        let scenario = &triple.scenario;
+        let sites = scenario.site_count();
+        // The parallel driver's mailboxes are reliable; only reliable,
+        // stall-free plans are semantically comparable (see
+        // `parallel_equivalence.rs`).
+        if !triple.fault.plan.is_reliable()
+            || (0..scenario.max_site_count()).any(|i| triple.fault.plan.is_stalled(SiteId::new(i)))
+        {
+            continue;
+        }
+        let config = triple.config();
+
+        macro_rules! check_drivers {
+            ($factory:expr) => {{
+                let (seq_report, seq) = Cluster::run_seeded(scenario, config.clone(), $factory);
+                assert_eq!(
+                    seq_report.safety_violations, 0,
+                    "triple #{index}: sequential run unsafe ({})",
+                    seq_report.collector
+                );
+                for &departed in seq.departed_sites() {
+                    assert!(
+                        seq.sites_mentioning(departed).is_empty(),
+                        "triple #{index}: sequential {} still references departed {departed}",
+                        seq_report.collector
+                    );
+                    checked_departures += 1;
+                }
+                let parallel_config = ClusterConfig {
+                    workers: 3,
+                    safety_oracle: false,
+                    ..config.clone()
+                };
+                let (par_report, par) =
+                    ParallelCluster::run_seeded(scenario, parallel_config, $factory);
+                assert_eq!(
+                    seq.reclaimed_addrs(),
+                    par.reclaimed_addrs(),
+                    "triple #{index}: reclaimed sets diverge ({})",
+                    seq_report.collector
+                );
+                assert_eq!(
+                    seq.garbage_addrs(),
+                    par.garbage_addrs(),
+                    "triple #{index}: residual garbage diverges ({})",
+                    seq_report.collector
+                );
+                assert_eq!(
+                    seq_report.sites, par_report.sites,
+                    "triple #{index}: final fleet sizes diverge"
+                );
+                for &departed in par.departed_sites() {
+                    assert!(
+                        par.sites_mentioning(departed).is_empty(),
+                        "triple #{index}: parallel {} still references departed {departed}",
+                        par_report.collector
+                    );
+                }
+            }};
+        }
+
+        check_drivers!(CausalCollector::new);
+        check_drivers!(TracingCollector::factory(sites));
+    }
+    assert!(
+        checked_departures >= 2,
+        "the pinned corpus must exercise planned leaves on reliable plans \
+         (got {checked_departures})"
+    );
+}

@@ -108,6 +108,7 @@ fn parallel_driver_matches_sequential_under_churn() {
         island: 1,
         hub: 1,
         churn: 6,
+        hot_churn: 0,
     };
     for index in 0..8u32 {
         let (_spec, triple) = corpus_triple(1312, index, &weights);

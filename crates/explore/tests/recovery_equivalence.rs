@@ -51,6 +51,7 @@ fn outcome_sets<C: Collector>(
         match step {
             Step::Op(op) => cluster.execute(*op),
             Step::Settle => cluster.settle(),
+            Step::Membership(ev) => cluster.execute_membership(*ev),
         }
     }
     cluster.settle(); // quiescent: nothing in flight, the log covers it all
@@ -61,6 +62,7 @@ fn outcome_sets<C: Collector>(
         match step {
             Step::Op(op) => cluster.execute(*op),
             Step::Settle => cluster.settle(),
+            Step::Membership(ev) => cluster.execute_membership(*ev),
         }
     }
     cluster.settle();
@@ -136,6 +138,7 @@ fn recovery_equivalence_holds_with_on_disk_stores() {
             match step {
                 Step::Op(op) => cluster.execute(*op),
                 Step::Settle => cluster.settle(),
+                Step::Membership(ev) => cluster.execute_membership(*ev),
             }
         }
         cluster.settle();
@@ -148,6 +151,7 @@ fn recovery_equivalence_holds_with_on_disk_stores() {
             match step {
                 Step::Op(op) => cluster.execute(*op),
                 Step::Settle => cluster.settle(),
+                Step::Membership(ev) => cluster.execute_membership(*ev),
             }
         }
         cluster.settle();

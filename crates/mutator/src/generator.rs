@@ -78,6 +78,18 @@ pub enum Segment {
         /// Number of random operations.
         ops: u32,
     },
+    /// Zipf-skewed churn: a small *hot set* of exported objects receives
+    /// the bulk of the link/send/clear traffic (rank `r` drawn with weight
+    /// `∝ 1/r`), while a cold population accumulates underneath. This is
+    /// the access pattern real object spaces exhibit, and the one that
+    /// stresses dependency-vector growth on a handful of heavily-shared
+    /// vertices — exactly what elastic membership must retire cleanly.
+    HotChurn {
+        /// Number of random operations.
+        ops: u32,
+        /// Size of the hot set (≥ 1).
+        hot: u32,
+    },
 }
 
 impl Segment {
@@ -89,6 +101,7 @@ impl Segment {
             Segment::Island { .. } => "island",
             Segment::Hub { .. } => "hub",
             Segment::Churn { .. } => "churn",
+            Segment::HotChurn { .. } => "hot-churn",
         }
     }
 }
@@ -106,6 +119,10 @@ pub struct SegmentWeights {
     pub hub: u32,
     /// Weight of [`Segment::Churn`].
     pub churn: u32,
+    /// Weight of [`Segment::HotChurn`]. Defaults to 0 so the classic
+    /// corpora (whose op sequences are pinned by equivalence tests) stay
+    /// byte-identical; the membership corpus turns it on.
+    pub hot_churn: u32,
 }
 
 impl Default for SegmentWeights {
@@ -116,13 +133,14 @@ impl Default for SegmentWeights {
             island: 2,
             hub: 1,
             churn: 3,
+            hot_churn: 0,
         }
     }
 }
 
 impl SegmentWeights {
     fn total(&self) -> u32 {
-        self.list + self.ring + self.island + self.hub + self.churn
+        self.list + self.ring + self.island + self.hub + self.churn + self.hot_churn
     }
 }
 
@@ -190,6 +208,13 @@ impl ScenarioSpec {
                 spokes: rng.gen_range(1u32..=(sites - 2).min(6)),
             };
         }
+        pick = pick.saturating_sub(weights.hub);
+        if pick < weights.hot_churn {
+            return Segment::HotChurn {
+                ops: rng.gen_range(24u32..=64),
+                hot: rng.gen_range(3u32..=10),
+            };
+        }
         Segment::Churn {
             ops: rng.gen_range(16u32..=64),
         }
@@ -223,6 +248,9 @@ impl ScenarioSpec {
                 ),
                 Segment::Hub { spokes } => emit_hub(&mut scenario, &mut rng, self.sites, spokes),
                 Segment::Churn { ops } => emit_churn(&mut scenario, &mut rng, self.sites, ops),
+                Segment::HotChurn { ops, hot } => {
+                    emit_hot_churn(&mut scenario, &mut rng, self.sites, ops, hot)
+                }
             }
         }
         scenario.settle();
@@ -471,6 +499,181 @@ fn emit_churn(s: &mut Scenario, rng: &mut ChaCha8Rng, sites: u32, ops: u32) {
         }
     }
     s.settle();
+}
+
+/// Draws a zipf-ish rank in `0..n`: rank `r` with weight `∝ 1/(r+1)`.
+/// Integer cumulative weights keep the draw bit-stable across platforms.
+fn zipf_rank(rng: &mut ChaCha8Rng, n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    let scale = 720_720u64; // divisible by 1..=16, so weights stay exact
+    let weights: Vec<u64> = (0..n).map(|r| scale / u64::from(r + 1)).collect();
+    let total: u64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0..total);
+    for (rank, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return rank as u32;
+        }
+        pick -= w;
+    }
+    n - 1
+}
+
+fn emit_hot_churn(s: &mut Scenario, rng: &mut ChaCha8Rng, sites: u32, ops: u32, hot: u32) {
+    let hot = hot.max(1);
+    // Segment-local roots, as in `emit_churn`.
+    let roots: Vec<ObjName> = (0..sites).map(|i| s.alloc(SiteId::new(i), true)).collect();
+    // The hot set: round-robin over the sites, each member exported once to
+    // the next site's root — pinned as an addressable global root, so every
+    // later send to or of it is legal.
+    let hot_objs: Vec<(ObjName, SiteId)> = (0..hot)
+        .map(|i| {
+            let site = SiteId::new(i % sites);
+            let name = s.alloc(site, false);
+            s.send_ref(site, roots[((i + 1) % sites) as usize], name);
+            (name, site)
+        })
+        .collect();
+    s.settle();
+
+    let mut links: Vec<(SiteId, ObjName, ObjName)> = Vec::new();
+    let mut cold: Vec<ObjName> = Vec::new();
+    for step in 0..ops {
+        // Hot-set members are ranked: member 0 sees roughly `hot`× the
+        // traffic of member `hot-1`.
+        let (hot_name, hot_site) = hot_objs[zipf_rank(rng, hot) as usize];
+        match rng.gen_range(0..6u8) {
+            0 | 1 => {
+                // Grow the cold population under a hot parent.
+                let obj = s.alloc(hot_site, false);
+                s.op(MutatorOp::LinkLocal {
+                    site: hot_site,
+                    from: hot_name,
+                    to: obj,
+                });
+                links.push((hot_site, hot_name, obj));
+                cold.push(obj);
+            }
+            2 | 3 => {
+                // Re-export the hot member to another site's root: the host
+                // always holds its own object's reference, so this is legal
+                // from `hot_site` regardless of earlier sends.
+                let other = (hot_site.index() + 1 + rng.gen_range(0..sites - 1)) % sites;
+                s.send_ref(hot_site, roots[other as usize], hot_name);
+            }
+            4 => {
+                if !links.is_empty() {
+                    let idx = rng.gen_range(0..links.len() as u32) as usize;
+                    let (site, from, to) = links.swap_remove(idx);
+                    s.op(MutatorOp::Unlink { site, from, to });
+                }
+            }
+            _ => {
+                // Clear a hot member's slots (dropping a swath of cold
+                // children at once) — the heavy-tail destruction pattern.
+                s.op(MutatorOp::ClearRefs {
+                    site: hot_site,
+                    name: hot_name,
+                });
+                links.retain(|&(_, from, _)| from != hot_name);
+            }
+        }
+        if step % 8 == 7 {
+            s.settle();
+        }
+    }
+    s.settle();
+}
+
+// ----------------------------------------------------------------------
+// Membership schedules
+// ----------------------------------------------------------------------
+
+/// Splices a deterministic elastic-membership schedule into a generated
+/// scenario: up to one `Join` of a fresh site plus up to one departure
+/// (`PlannedLeave` or `Evict`), inserted at settling points so every
+/// change lands on a quiescent-ish cluster the way an operator would
+/// schedule it. The schedule shape, the departing site and the insertion
+/// points are all pure functions of `seed`.
+///
+/// Ops that target a departed site after its departure stay in the
+/// scenario on purpose — the drivers skip them under the same legality
+/// tracking crash faults use, and the explorer must exercise exactly that
+/// path.
+pub fn splice_membership(scenario: &crate::Scenario, seed: u64) -> crate::Scenario {
+    use crate::{MembershipEvent, MembershipKind, Step};
+
+    let founding = scenario.site_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6d65_6d62_6572_2121);
+    // Schedule shapes: join-only / leave-only / evict-only / join+leave /
+    // join+evict / join-then-leave-of-the-joiner. A two-site fleet never
+    // shrinks below two: departures there are always paired with a join.
+    let mut shape = rng.gen_range(0u8..6);
+    if founding <= 2 && (shape == 1 || shape == 2) {
+        shape += 2;
+    }
+    let joiner = SiteId::new(founding);
+    let departing_founder = SiteId::new(rng.gen_range(0..founding));
+    let mut events: Vec<(MembershipKind, SiteId)> = Vec::new();
+    match shape {
+        0 => events.push((MembershipKind::Join, joiner)),
+        1 => events.push((MembershipKind::PlannedLeave, departing_founder)),
+        2 => events.push((MembershipKind::Evict, departing_founder)),
+        3 => {
+            events.push((MembershipKind::Join, joiner));
+            events.push((MembershipKind::PlannedLeave, departing_founder));
+        }
+        4 => {
+            events.push((MembershipKind::Join, joiner));
+            events.push((MembershipKind::Evict, departing_founder));
+        }
+        _ => {
+            events.push((MembershipKind::Join, joiner));
+            events.push((MembershipKind::PlannedLeave, joiner));
+        }
+    }
+
+    // Insertion points: distinct settling points, in order. Schedules
+    // longer than the settle list spill to the end of the scenario.
+    let settle_positions: Vec<usize> = scenario
+        .steps()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, step)| matches!(step, Step::Settle).then_some(i))
+        .collect();
+    let mut slots: Vec<Option<usize>> = Vec::new();
+    let mut cursor = 0usize;
+    for _ in &events {
+        if cursor < settle_positions.len() {
+            let idx = cursor + rng.gen_range(0..(settle_positions.len() - cursor) as u32) as usize;
+            slots.push(Some(settle_positions[idx]));
+            cursor = idx + 1;
+        } else {
+            slots.push(None);
+        }
+    }
+
+    let mut steps: Vec<Step> = Vec::with_capacity(scenario.len() + events.len() + 1);
+    let mut epoch = 0u64;
+    let mut pending = events.iter().zip(slots.iter()).peekable();
+    for (i, step) in scenario.steps().iter().enumerate() {
+        steps.push(*step);
+        while let Some(&(&(kind, site), &slot)) = pending.peek() {
+            if slot == Some(i) {
+                epoch += 1;
+                steps.push(Step::Membership(MembershipEvent { epoch, kind, site }));
+                pending.next();
+            } else {
+                break;
+            }
+        }
+    }
+    for (&(kind, site), _) in pending {
+        epoch += 1;
+        steps.push(Step::Membership(MembershipEvent { epoch, kind, site }));
+    }
+    // Let the reshaped fleet reach quiescence before the final checks.
+    steps.push(Step::Settle);
+    crate::Scenario::from_steps(founding, steps)
 }
 
 // ----------------------------------------------------------------------
@@ -779,6 +982,115 @@ mod tests {
             allocs >= spec.objects,
             "pre-population must reach the requested object count"
         );
+    }
+
+    #[test]
+    fn default_weights_never_sample_hot_churn() {
+        // The classic corpora are pinned by equivalence tests; the zipf
+        // segment must stay opt-in.
+        for seed in 0..200u64 {
+            let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            assert!(
+                !spec
+                    .segments
+                    .iter()
+                    .any(|s| matches!(s, Segment::HotChurn { .. })),
+                "seed {seed} sampled a hot-churn segment under default weights"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_churn_scenarios_are_deterministic_and_legal() {
+        let weights = SegmentWeights {
+            hot_churn: 10,
+            ..SegmentWeights::default()
+        };
+        let mut sampled = 0u32;
+        for seed in 0..40u64 {
+            let spec = ScenarioSpec::generate(seed, &weights);
+            sampled += spec
+                .segments
+                .iter()
+                .filter(|s| matches!(s, Segment::HotChurn { .. }))
+                .count() as u32;
+            let built = spec.build(seed);
+            assert_eq!(built.scenario, spec.build(seed).scenario);
+            let mut defined = std::collections::BTreeSet::new();
+            for step in built.scenario.steps() {
+                if let Step::Op(op) = step {
+                    if let Some(name) = op.defined_name() {
+                        assert!(defined.insert(name), "names are unique");
+                    }
+                    for used in op.used_names() {
+                        assert!(defined.contains(&used), "op uses undefined name");
+                    }
+                    for site in op.sites() {
+                        assert!(site.index() < spec.sites);
+                    }
+                }
+            }
+        }
+        assert!(sampled >= 10, "the weight must actually bias sampling");
+    }
+
+    #[test]
+    fn zipf_ranks_skew_toward_the_head() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..8_000 {
+            counts[zipf_rank(&mut rng, 8) as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[7] * 4,
+            "rank 0 must dominate: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "the tail still appears");
+    }
+
+    #[test]
+    fn splice_membership_is_deterministic_and_well_formed() {
+        use crate::MembershipKind;
+        for seed in 0..60u64 {
+            let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+            let base = spec.build(seed).scenario;
+            let spliced = splice_membership(&base, seed);
+            assert_eq!(
+                spliced,
+                splice_membership(&base, seed),
+                "same seed, same schedule"
+            );
+            assert!(spliced.has_membership(), "a schedule is always spliced");
+            assert_eq!(spliced.site_count(), base.site_count());
+            let events: Vec<_> = spliced.membership_events().collect();
+            assert!((1..=2).contains(&events.len()));
+            let mut active: std::collections::BTreeSet<u32> = (0..base.site_count()).collect();
+            for (i, ev) in events.iter().enumerate() {
+                assert_eq!(ev.epoch, i as u64 + 1, "epochs are dense and ordered");
+                match ev.kind {
+                    MembershipKind::Join => {
+                        assert!(ev.site.index() >= base.site_count());
+                        assert!(active.insert(ev.site.index()), "no double join");
+                    }
+                    MembershipKind::PlannedLeave | MembershipKind::Evict => {
+                        assert!(active.remove(&ev.site.index()), "departure of a member");
+                    }
+                }
+            }
+            assert!(active.len() >= 2, "the fleet never shrinks below two");
+            // The mutator ops themselves are untouched.
+            let base_ops: Vec<_> = base
+                .steps()
+                .iter()
+                .filter(|s| matches!(s, Step::Op(_)))
+                .collect();
+            let spliced_ops: Vec<_> = spliced
+                .steps()
+                .iter()
+                .filter(|s| matches!(s, Step::Op(_)))
+                .collect();
+            assert_eq!(base_ops, spliced_ops);
+        }
     }
 
     #[test]

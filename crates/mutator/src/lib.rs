@@ -155,6 +155,34 @@ impl MutatorOp {
     }
 }
 
+/// The kind of fleet change a [`MembershipEvent`] describes. Mirrors the
+/// durable `MembershipChange` wire type in `ggd-store`; the simulator maps
+/// between the two so this crate stays dependency-light.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MembershipKind {
+    /// A fresh site joins the fleet mid-run. Its index must lie at or above
+    /// the scenario's founding `site_count`.
+    Join,
+    /// A site leaves after quiescing: its exported references are re-homed,
+    /// its DkLog drained, and survivors retire its vector entries.
+    PlannedLeave,
+    /// A site is evicted without warning — permanent crash semantics.
+    Evict,
+}
+
+/// One epoch-stamped membership change in a scenario. Epochs are assigned
+/// monotonically by the [`Scenario`] builder helpers, so a scenario's
+/// membership schedule is totally ordered even across shrinking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// Strictly increasing membership epoch within the scenario.
+    pub epoch: u64,
+    /// What happens.
+    pub kind: MembershipKind,
+    /// The site joining, leaving or being evicted.
+    pub site: SiteId,
+}
+
 /// One step of a scenario: either a mutator operation or a settling point at
 /// which the simulator delivers all in-flight messages, runs local
 /// collections and lets GGD reach quiescence.
@@ -164,6 +192,8 @@ pub enum Step {
     Op(MutatorOp),
     /// Deliver messages, run collections and GGD until quiescent.
     Settle,
+    /// Execute an elastic-membership change.
+    Membership(MembershipEvent),
 }
 
 /// A scripted mutator computation over a fixed number of sites.
@@ -172,6 +202,8 @@ pub struct Scenario {
     site_count: u32,
     steps: Vec<Step>,
     next_name: u32,
+    #[serde(default)]
+    next_epoch: u64,
 }
 
 impl Scenario {
@@ -181,19 +213,29 @@ impl Scenario {
             site_count,
             steps: Vec::new(),
             next_name: 0,
+            next_epoch: 0,
         }
     }
 
     /// Rebuilds a scenario from raw steps — the explorer's shrinker uses
-    /// this to replay candidate subsets of a failing scenario. The fresh-name
-    /// counter resumes above every name the steps define.
+    /// this to replay candidate subsets of a failing scenario. The
+    /// fresh-name counter resumes above every name the steps define, and
+    /// the membership-epoch counter above every epoch they carry.
     pub fn from_steps(site_count: u32, steps: impl IntoIterator<Item = Step>) -> Scenario {
         let steps: Vec<Step> = steps.into_iter().collect();
         let next_name = steps
             .iter()
             .filter_map(|step| match step {
                 Step::Op(op) => op.defined_name().map(|n| n.0 + 1),
-                Step::Settle => None,
+                Step::Settle | Step::Membership(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let next_epoch = steps
+            .iter()
+            .filter_map(|step| match step {
+                Step::Membership(ev) => Some(ev.epoch),
+                _ => None,
             })
             .max()
             .unwrap_or(0);
@@ -201,12 +243,61 @@ impl Scenario {
             site_count,
             steps,
             next_name,
+            next_epoch,
         }
     }
 
-    /// Number of sites the scenario requires.
+    /// Number of founding sites the scenario starts with.
     pub fn site_count(&self) -> u32 {
         self.site_count
+    }
+
+    /// Number of site slots the scenario can ever use: the founding
+    /// `site_count` plus any site indices introduced by `Join` events.
+    /// Transports that size their endpoints up front (the threaded network,
+    /// the parallel driver's shards) must be built for this count.
+    pub fn max_site_count(&self) -> u32 {
+        self.steps
+            .iter()
+            .filter_map(|step| match step {
+                Step::Membership(ev) if ev.kind == MembershipKind::Join => {
+                    Some(ev.site.index() + 1)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+            .max(self.site_count)
+    }
+
+    /// True when the scenario contains any membership event.
+    pub fn has_membership(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|step| matches!(step, Step::Membership(_)))
+    }
+
+    /// True when the scenario evicts a site. Evictions lose in-flight
+    /// messages (permanent-crash semantics), so loss-free-only baselines
+    /// and cross-checks must be skipped for such scenarios.
+    pub fn has_evict(&self) -> bool {
+        self.steps.iter().any(|step| {
+            matches!(
+                step,
+                Step::Membership(MembershipEvent {
+                    kind: MembershipKind::Evict,
+                    ..
+                })
+            )
+        })
+    }
+
+    /// The scenario's membership events, in schedule order.
+    pub fn membership_events(&self) -> impl Iterator<Item = MembershipEvent> + '_ {
+        self.steps.iter().filter_map(|step| match step {
+            Step::Membership(ev) => Some(*ev),
+            _ => None,
+        })
     }
 
     /// The scripted steps.
@@ -258,6 +349,40 @@ impl Scenario {
         name
     }
 
+    fn membership(&mut self, kind: MembershipKind, site: SiteId) -> &mut Self {
+        let epoch = self.next_epoch + 1;
+        self.next_epoch = epoch;
+        self.push(Step::Membership(MembershipEvent { epoch, kind, site }))
+    }
+
+    /// Appends a `Join` event: `site` joins the fleet mid-run with a fresh
+    /// runtime (and, under a durability config, an empty WAL it logs to
+    /// from its first input).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is a founding member (`index < site_count`).
+    pub fn join(&mut self, site: SiteId) -> &mut Self {
+        assert!(
+            site.index() >= self.site_count,
+            "joining site {site} is already a founding member"
+        );
+        self.membership(MembershipKind::Join, site)
+    }
+
+    /// Appends a `PlannedLeave` event: the cluster quiesces, `site` hands
+    /// its references off to the surviving holders and departs; survivors
+    /// retire its dependency-vector entries.
+    pub fn planned_leave(&mut self, site: SiteId) -> &mut Self {
+        self.membership(MembershipKind::PlannedLeave, site)
+    }
+
+    /// Appends an `Evict` event: `site` is removed without warning, as a
+    /// permanent crash. In-flight messages to it are lost.
+    pub fn evict(&mut self, site: SiteId) -> &mut Self {
+        self.membership(MembershipKind::Evict, site)
+    }
+
     /// Convenience: send a reference from `from_site` to `recipient`.
     pub fn send_ref(
         &mut self,
@@ -289,6 +414,46 @@ mod tests {
         assert_eq!(s.site_count(), 2);
         assert!(matches!(s.steps()[3], Step::Settle));
         assert_eq!(a.to_string(), "n0");
+    }
+
+    #[test]
+    fn membership_builders_stamp_monotonic_epochs() {
+        let mut s = Scenario::new(3);
+        s.join(SiteId::new(3));
+        s.planned_leave(SiteId::new(1));
+        s.evict(SiteId::new(0));
+        let events: Vec<MembershipEvent> = s.membership_events().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].epoch, 1);
+        assert_eq!(events[1].epoch, 2);
+        assert_eq!(events[2].epoch, 3);
+        assert_eq!(events[0].kind, MembershipKind::Join);
+        assert!(s.has_membership());
+        assert!(s.has_evict());
+        assert_eq!(s.max_site_count(), 4, "join of site 3 widens the fleet");
+
+        // from_steps resumes the epoch counter above the kept events.
+        let mut rebuilt = Scenario::from_steps(3, s.steps().to_vec());
+        rebuilt.planned_leave(SiteId::new(2));
+        let last = rebuilt.membership_events().last().unwrap();
+        assert_eq!(last.epoch, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn joining_a_founding_member_panics() {
+        let mut s = Scenario::new(3);
+        s.join(SiteId::new(2));
+    }
+
+    #[test]
+    fn plain_scenarios_have_no_membership() {
+        let mut s = Scenario::new(2);
+        s.alloc(SiteId::new(0), true);
+        assert!(!s.has_membership());
+        assert!(!s.has_evict());
+        assert_eq!(s.max_site_count(), 2);
+        assert_eq!(s.membership_events().count(), 0);
     }
 
     #[test]

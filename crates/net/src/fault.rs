@@ -31,6 +31,52 @@ pub struct SiteCrash {
     pub restart_after: u64,
 }
 
+/// One scheduled bidirectional partition: no message between `a` and `b`
+/// is delivered while the transport clock is in `[from_round, heal_round)`.
+///
+/// Two kinds of window exist, distinguished by their bounds:
+///
+/// * an *unbounded* window (`from_round == 0`, `heal_round == u64::MAX`) is
+///   what the legacy [`FaultPlan::with_partition`] API builds. Transports
+///   **park** messages crossing it and release them when the window is
+///   removed by [`FaultPlan::heal_partition`] — the original imperative
+///   heal-by-mutation behaviour, now just a degenerate window.
+/// * a *bounded* window (anything else, built by
+///   [`FaultPlan::with_partition_window`] or [`FaultPlan::with_split`])
+///   **drops** messages arriving inside it, counting them as loss, so
+///   [`FaultPlan::is_loss_free`] and [`FaultPlan::is_reliable`] stay
+///   accurate without any mid-run mutation. This is the declarative,
+///   replayable representation the explorer's split-and-heal plans use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Lower site of the (normalized) pair.
+    pub a: SiteId,
+    /// Higher site of the (normalized) pair.
+    pub b: SiteId,
+    /// Transport time at which the partition starts.
+    pub from_round: u64,
+    /// Transport time at which the partition heals (exclusive).
+    pub heal_round: u64,
+}
+
+impl PartitionWindow {
+    /// True when this is the degenerate always-on window the legacy
+    /// [`FaultPlan::with_partition`] API builds (park semantics).
+    pub fn is_unbounded(&self) -> bool {
+        self.from_round == 0 && self.heal_round == u64::MAX
+    }
+
+    /// True when the window separates `x` and `y` (in either order).
+    pub fn covers(&self, x: SiteId, y: SiteId) -> bool {
+        (self.a, self.b) == FaultPlan::norm(x, y)
+    }
+
+    /// True when the window is in force at transport time `now`.
+    pub fn active_at(&self, now: u64) -> bool {
+        self.from_round <= now && now < self.heal_round
+    }
+}
+
 /// Per-link fault overrides.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkFault {
@@ -66,7 +112,8 @@ pub struct FaultPlan {
     drop_probability: f64,
     duplicate_probability: f64,
     link_overrides: BTreeMap<(SiteId, SiteId), LinkFault>,
-    partitions: BTreeSet<(SiteId, SiteId)>,
+    #[serde(default)]
+    partition_windows: Vec<PartitionWindow>,
     stalled: BTreeSet<SiteId>,
     #[serde(default)]
     crashes: Vec<SiteCrash>,
@@ -108,9 +155,92 @@ impl FaultPlan {
 
     /// Declares a bidirectional partition between two sites: no message is
     /// delivered in either direction while the partition is in place.
+    ///
+    /// Internally this is the unbounded window `[0, u64::MAX)` — see
+    /// [`PartitionWindow`]. Transports *park* messages crossing it until
+    /// [`FaultPlan::heal_partition`] removes it.
     pub fn with_partition(mut self, a: SiteId, b: SiteId) -> Self {
-        self.partitions.insert(Self::norm(a, b));
+        let (a, b) = Self::norm(a, b);
+        let window = PartitionWindow {
+            a,
+            b,
+            from_round: 0,
+            heal_round: u64::MAX,
+        };
+        if !self.partition_windows.contains(&window) {
+            self.partition_windows.push(window);
+            self.partition_windows.sort();
+        }
         self
+    }
+
+    /// Schedules a bidirectional partition between two sites for transport
+    /// times in `[from_round, heal_round)`. Messages arriving inside the
+    /// window are *dropped as loss* (unlike the unbounded
+    /// [`FaultPlan::with_partition`], which parks), so the plan stays fully
+    /// declarative and replayable and the loss accounting stays accurate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty (`heal_round <= from_round`).
+    pub fn with_partition_window(
+        mut self,
+        a: SiteId,
+        b: SiteId,
+        from_round: u64,
+        heal_round: u64,
+    ) -> Self {
+        assert!(
+            heal_round > from_round,
+            "partition window must be non-empty (from {from_round} >= heal {heal_round})"
+        );
+        let (a, b) = Self::norm(a, b);
+        let window = PartitionWindow {
+            a,
+            b,
+            from_round,
+            heal_round,
+        };
+        if !self.partition_windows.contains(&window) {
+            self.partition_windows.push(window);
+            self.partition_windows.sort();
+        }
+        self
+    }
+
+    /// Severs a fleet of `sites` sites into two halves — `[0, sites/2)` and
+    /// `[sites/2, sites)` — for transport times in `[from_round,
+    /// heal_round)`, then heals. Installs one scheduled window per cross
+    /// pair; messages arriving inside the split are dropped as loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty, as for
+    /// [`FaultPlan::with_partition_window`].
+    pub fn with_split(mut self, sites: u32, from_round: u64, heal_round: u64) -> Self {
+        let half = sites / 2;
+        for low in 0..half {
+            for high in half..sites {
+                self = self.with_partition_window(
+                    SiteId::new(low),
+                    SiteId::new(high),
+                    from_round,
+                    heal_round,
+                );
+            }
+        }
+        self
+    }
+
+    /// The scheduled partition windows, sorted.
+    pub fn partition_windows(&self) -> &[PartitionWindow] {
+        &self.partition_windows
+    }
+
+    /// True when the plan schedules at least one partition window (bounded
+    /// or unbounded).
+    pub fn has_partitions(&self) -> bool {
+        !self.partition_windows.is_empty()
     }
 
     /// Declares a site as stalled: messages addressed to it stay queued until
@@ -179,9 +309,13 @@ impl FaultPlan {
         plan
     }
 
-    /// Removes a partition previously installed with [`FaultPlan::with_partition`].
+    /// Removes every partition window between the two sites — the
+    /// imperative heal, kept for the legacy [`FaultPlan::with_partition`]
+    /// API. Scheduled windows heal themselves at their `heal_round`; calling
+    /// this cancels them early.
     pub fn heal_partition(&mut self, a: SiteId, b: SiteId) {
-        self.partitions.remove(&Self::norm(a, b));
+        let pair = Self::norm(a, b);
+        self.partition_windows.retain(|w| (w.a, w.b) != pair);
     }
 
     /// Marks a stalled site as running again.
@@ -218,9 +352,23 @@ impl FaultPlan {
             .unwrap_or(0)
     }
 
-    /// True when the two sites are currently partitioned from each other.
+    /// True when an *unbounded* partition separates the two sites — the
+    /// condition under which transports park (rather than drop) messages.
+    /// Bounded windows never park; see
+    /// [`FaultPlan::partition_drops`].
     pub fn is_partitioned(&self, a: SiteId, b: SiteId) -> bool {
-        self.partitions.contains(&Self::norm(a, b))
+        self.partition_windows
+            .iter()
+            .any(|w| w.is_unbounded() && w.covers(a, b))
+    }
+
+    /// True when a *bounded* partition window separates the two sites at
+    /// transport time `now`: a message arriving then must be dropped,
+    /// counting as loss.
+    pub fn partition_drops(&self, a: SiteId, b: SiteId, now: u64) -> bool {
+        self.partition_windows
+            .iter()
+            .any(|w| !w.is_unbounded() && w.covers(a, b) && w.active_at(now))
     }
 
     /// True when the site is currently stalled.
@@ -239,7 +387,7 @@ impl FaultPlan {
                 .link_overrides
                 .values()
                 .all(|f| f.drop_probability == 0.0)
-            && self.partitions.is_empty()
+            && self.partition_windows.is_empty()
             && self.crashes.is_empty()
     }
 
@@ -327,8 +475,46 @@ impl FaultPlan {
                 .link_overrides
                 .values()
                 .all(|f| f.drop_probability == 0.0 && f.duplicate_probability == 0.0)
-            && self.partitions.is_empty()
+            && self.partition_windows.is_empty()
             && self.crashes.is_empty()
+    }
+
+    /// The scheduled-partition matrix for a system of `sites` sites: group
+    /// splits that heal early or late, a single-pair window, and a split
+    /// combined with background message loss. The companion of
+    /// [`FaultPlan::matrix`] for the explorer's membership corpus — every
+    /// bounded window drops arrivals as loss, so none of these plans are
+    /// loss-free and the reflisting baseline is exempted exactly as for
+    /// lossy plans.
+    pub fn partition_matrix(sites: u32) -> Vec<NamedFaultPlan> {
+        let last = SiteId::new(sites.saturating_sub(1));
+        let code = |plan: &FaultPlan| crash_plan_code(plan);
+        let mut entries = vec![NamedFaultPlan::new(
+            "reliable",
+            "FaultPlan::new()",
+            FaultPlan::new(),
+        )];
+        let windows = [
+            (
+                "split_early_heal",
+                FaultPlan::new().with_split(sites, 2, 10),
+            ),
+            ("split_late_heal", FaultPlan::new().with_split(sites, 6, 26)),
+            (
+                "pair_window",
+                FaultPlan::new().with_partition_window(SiteId::new(0), last, 4, 14),
+            ),
+            (
+                "split_drop10",
+                FaultPlan::new()
+                    .with_split(sites, 3, 12)
+                    .with_drop_probability(0.1),
+            ),
+        ];
+        for (name, plan) in windows {
+            entries.push(NamedFaultPlan::new(name, &code(&plan), plan));
+        }
+        entries
     }
 
     /// The crash-fault matrix for a system of `sites` sites: single and
@@ -382,10 +568,11 @@ impl FaultPlan {
     }
 }
 
-/// Renders the Rust expression rebuilding a crash-bearing plan (drop
-/// probability + crash windows; the explorer's crash plans use nothing
-/// else). Used by [`FaultPlan::crash_matrix`] and by the shrinker when it
-/// minimizes a crash schedule.
+/// Renders the Rust expression rebuilding a crash- or partition-bearing
+/// plan (drop/duplicate probabilities, crash windows, partition windows;
+/// the explorer's crash and membership plans use nothing else). Used by
+/// [`FaultPlan::crash_matrix`], [`FaultPlan::partition_matrix`] and by the
+/// shrinker when it minimizes a fault schedule.
 pub fn crash_plan_code(plan: &FaultPlan) -> String {
     let mut code = String::from("FaultPlan::new()");
     if plan.drop_probability > 0.0 {
@@ -407,6 +594,23 @@ pub fn crash_plan_code(plan: &FaultPlan) -> String {
             crash.at_round,
             crash.restart_after
         ));
+    }
+    for window in &plan.partition_windows {
+        if window.is_unbounded() {
+            code.push_str(&format!(
+                ".with_partition(SiteId::new({}), SiteId::new({}))",
+                window.a.index(),
+                window.b.index()
+            ));
+        } else {
+            code.push_str(&format!(
+                ".with_partition_window(SiteId::new({}), SiteId::new({}), {}, {})",
+                window.a.index(),
+                window.b.index(),
+                window.from_round,
+                window.heal_round
+            ));
+        }
     }
     code
 }
@@ -595,6 +799,109 @@ mod tests {
                 },
             )
             .is_loss_free());
+    }
+
+    #[test]
+    fn partition_windows_are_scheduled_and_half_open() {
+        let plan = FaultPlan::new().with_partition_window(SiteId::new(2), SiteId::new(0), 5, 10);
+        assert!(plan.has_partitions());
+        assert!(
+            !plan.is_partitioned(SiteId::new(0), SiteId::new(2)),
+            "bounded windows never park"
+        );
+        assert!(!plan.partition_drops(SiteId::new(0), SiteId::new(2), 4));
+        assert!(plan.partition_drops(SiteId::new(0), SiteId::new(2), 5));
+        assert!(plan.partition_drops(SiteId::new(2), SiteId::new(0), 9));
+        assert!(!plan.partition_drops(SiteId::new(0), SiteId::new(2), 10));
+        assert!(!plan.partition_drops(SiteId::new(0), SiteId::new(1), 7));
+        assert!(!plan.is_loss_free());
+        assert!(!plan.is_reliable());
+    }
+
+    #[test]
+    fn legacy_partition_is_an_unbounded_window() {
+        let plan = FaultPlan::new().with_partition(SiteId::new(3), SiteId::new(1));
+        let windows = plan.partition_windows();
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].is_unbounded());
+        assert_eq!(
+            (windows[0].a, windows[0].b),
+            (SiteId::new(1), SiteId::new(3))
+        );
+        assert!(plan.is_partitioned(SiteId::new(1), SiteId::new(3)));
+        assert!(
+            !plan.partition_drops(SiteId::new(1), SiteId::new(3), 0),
+            "unbounded windows park, they do not drop"
+        );
+    }
+
+    #[test]
+    fn split_severs_the_two_halves_only() {
+        let plan = FaultPlan::new().with_split(4, 2, 8);
+        assert_eq!(plan.partition_windows().len(), 4, "2x2 cross pairs");
+        for (low, high) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            assert!(plan.partition_drops(SiteId::new(low), SiteId::new(high), 5));
+            assert!(!plan.partition_drops(SiteId::new(low), SiteId::new(high), 8));
+        }
+        // Intra-half links are unaffected.
+        assert!(!plan.partition_drops(SiteId::new(0), SiteId::new(1), 5));
+        assert!(!plan.partition_drops(SiteId::new(2), SiteId::new(3), 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partition_window_panics() {
+        let _ = FaultPlan::new().with_partition_window(SiteId::new(0), SiteId::new(1), 5, 5);
+    }
+
+    #[test]
+    fn heal_partition_cancels_windows_for_the_pair() {
+        let mut plan = FaultPlan::new()
+            .with_partition(SiteId::new(0), SiteId::new(1))
+            .with_partition_window(SiteId::new(0), SiteId::new(1), 3, 9)
+            .with_partition_window(SiteId::new(0), SiteId::new(2), 3, 9);
+        plan.heal_partition(SiteId::new(1), SiteId::new(0));
+        assert!(!plan.is_partitioned(SiteId::new(0), SiteId::new(1)));
+        assert!(!plan.partition_drops(SiteId::new(0), SiteId::new(1), 5));
+        assert!(plan.partition_drops(SiteId::new(0), SiteId::new(2), 5));
+    }
+
+    #[test]
+    fn partition_matrix_rebuilds_and_stays_lossy() {
+        let matrix = FaultPlan::partition_matrix(4);
+        let names: Vec<&str> = matrix.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "reliable",
+            "split_early_heal",
+            "split_late_heal",
+            "pair_window",
+            "split_drop10",
+        ] {
+            assert!(names.contains(&expected), "matrix misses {expected}");
+        }
+        for entry in &matrix {
+            if entry.name == "reliable" {
+                assert!(entry.plan.is_reliable());
+                continue;
+            }
+            assert!(
+                !entry.plan.is_loss_free(),
+                "{} must count as lossy",
+                entry.name
+            );
+            assert!(
+                entry.code.contains("with_partition_window"),
+                "{} has no window reproducer code",
+                entry.name
+            );
+        }
+        let code = crash_plan_code(
+            &FaultPlan::new()
+                .with_partition(SiteId::new(0), SiteId::new(1))
+                .with_partition_window(SiteId::new(1), SiteId::new(2), 4, 9),
+        );
+        assert!(code.contains("with_partition(SiteId::new(0), SiteId::new(1))"));
+        assert!(code.contains("with_partition_window(SiteId::new(1), SiteId::new(2), 4, 9)"));
     }
 
     #[test]

@@ -56,7 +56,9 @@ mod sim;
 mod threaded;
 mod transport;
 
-pub use fault::{crash_plan_code, FaultPlan, LinkFault, NamedFaultPlan, SiteCrash};
+pub use fault::{
+    crash_plan_code, FaultPlan, LinkFault, NamedFaultPlan, PartitionWindow, SiteCrash,
+};
 pub use frame::{read_varint, write_varint, Frame, FrameError, WireCodec};
 pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
 pub use metrics::{MetricKey, NetMetrics};

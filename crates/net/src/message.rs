@@ -165,6 +165,9 @@ const TEST_LABELS: &[&str] = &[
     "to-the-dead",
     "to-the-living",
     "after-restart",
+    "severed",
+    "open",
+    "after-heal",
 ];
 
 #[cfg(test)]

@@ -287,6 +287,14 @@ impl<P: Payload> SimNetwork<P> {
                 self.metrics.record_dropped(msg.class, msg.label);
                 continue;
             }
+            // A bounded partition window drops arrivals inside it, as loss;
+            // only the legacy unbounded partitions park (handled below).
+            if self.faults.partition_drops(msg.from, msg.to, arrives_at) {
+                self.now = arrives_at;
+                self.metrics.note_dequeued(msg.payload.size_hint());
+                self.metrics.record_dropped(msg.class, msg.label);
+                continue;
+            }
             if self.blocked(&msg) {
                 self.parked.push(msg);
                 continue;
@@ -481,6 +489,65 @@ mod tests {
         let d = n.deliver_next().unwrap();
         assert_eq!(d.payload.label, "after-restart");
         assert!(d.at >= 10);
+    }
+
+    #[test]
+    fn partition_window_drops_inside_the_window_only() {
+        // Window [2, 10) between sites 0 and 1: the first message (arrives
+        // at t=1) lands, the next two (t=2, t=3) are dropped as loss, and a
+        // message delayed past the heal lands again. Mirrors the crash test
+        // above — bounded windows drop, they never park.
+        let faults = FaultPlan::new().with_partition_window(site(0), site(1), 2, 10);
+        let mut n: SimNetwork<TestPayload> =
+            SimNetwork::with_faults(SimNetworkConfig::default(), faults, 5);
+        n.send(site(0), site(1), TestPayload::control("early"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "early");
+
+        n.send(site(0), site(1), TestPayload::control("cut-1"));
+        n.send(site(1), site(0), TestPayload::control("cut-2"));
+        assert!(n.deliver_next().is_none(), "both arrivals are dropped");
+        assert_eq!(n.metrics().dropped_total(), 2);
+        assert_eq!(n.parked(), 0, "a bounded window drops, it does not park");
+        assert_eq!(n.now(), 2, "time passed while the link was severed");
+
+        let late = crate::fault::LinkFault {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_delay: 9,
+        };
+        let with_delay = n.faults().clone().with_link_fault(site(0), site(1), late);
+        n.set_faults(with_delay);
+        n.send(site(0), site(1), TestPayload::control("after-heal"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "after-heal");
+        assert!(d.at >= 10);
+    }
+
+    #[test]
+    fn split_window_severs_halves_then_heals() {
+        let faults = FaultPlan::new().with_split(4, 0, 5);
+        let mut n: SimNetwork<TestPayload> =
+            SimNetwork::with_faults(SimNetworkConfig::default(), faults, 5);
+        n.send(site(0), site(2), TestPayload::control("cross"));
+        n.send(site(0), site(1), TestPayload::control("intra"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "intra", "intra-half traffic flows");
+        assert!(n.deliver_next().is_none());
+        assert_eq!(n.metrics().dropped_total(), 1);
+
+        // After the heal round the same link works again.
+        let late = crate::fault::LinkFault {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_delay: 9,
+        };
+        let with_delay = n.faults().clone().with_link_fault(site(0), site(2), late);
+        n.set_faults(with_delay);
+        n.send(site(0), site(2), TestPayload::control("healed"));
+        let d = n.deliver_next().unwrap();
+        assert_eq!(d.payload.label, "healed");
+        assert!(d.at >= 5);
     }
 
     #[test]

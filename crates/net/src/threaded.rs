@@ -262,10 +262,11 @@ pub struct ThreadedNetwork<P: WireCodec + 'static> {
     relays: Vec<JoinHandle<()>>,
     deliveries: u64,
     next_id: u64,
-    /// Fault plan, consulted for site-crash windows only (the threaded
-    /// transport is otherwise reliable): messages arriving for a site that
-    /// is crashed at the current logical time are dropped, counting as
-    /// loss — same semantics as the simulated network.
+    /// Fault plan, consulted for site-crash and scheduled-partition windows
+    /// only (the threaded transport is otherwise reliable): messages
+    /// arriving for a site that is crashed — or across a bounded partition
+    /// window — at the current logical time are dropped, counting as loss,
+    /// same semantics as the simulated network.
     faults: FaultPlan,
     /// Only frames cross threads; the payload type exists at the encode and
     /// decode edges.
@@ -367,7 +368,11 @@ impl<P: WireCodec + 'static> ThreadedNetwork<P> {
     /// current logical time is dropped undecoded (counted as loss),
     /// everything else is decoded back into a payload delivery.
     fn accept(&mut self, env: FrameEnvelope) -> Option<Delivery<P>> {
-        if self.faults.is_crashed(env.to, self.deliveries) {
+        if self.faults.is_crashed(env.to, self.deliveries)
+            || self
+                .faults
+                .partition_drops(env.from, env.to, self.deliveries)
+        {
             self.in_flight -= 1;
             // The relay already recorded the channel-level delivery and
             // dequeue when it pulled the frame; only the terminal drop is
@@ -705,6 +710,45 @@ mod tests {
             metrics.control_bytes_sent() + metrics.mutator_bytes_sent(),
             encoded_total
         );
+    }
+
+    #[test]
+    fn partition_window_drops_cross_traffic_as_loss() {
+        // Window active from logical time 0 for a long while: cross-pair
+        // traffic is dropped at acceptance, other links deliver.
+        let faults =
+            FaultPlan::new().with_partition_window(SiteId::new(0), SiteId::new(1), 0, 1_000_000);
+        let mut net: ThreadedNetwork<TestPayload> =
+            ThreadedNetwork::for_sites_with_faults(3, faults);
+        Transport::send(
+            &mut net,
+            SiteId::new(0),
+            SiteId::new(1),
+            TestPayload::control("severed"),
+        );
+        Transport::send(
+            &mut net,
+            SiteId::new(0),
+            SiteId::new(2),
+            TestPayload::control("open"),
+        );
+        let mut delivered = Vec::new();
+        while let Some(d) = net.poll() {
+            delivered.push(d.to);
+        }
+        assert_eq!(delivered, vec![SiteId::new(2)]);
+        assert_eq!(net.pending(), 0);
+        assert_eq!(net.metrics_snapshot().dropped_total(), 1);
+
+        // Healed plan: the same link delivers again.
+        *net.faults_mut() = FaultPlan::new();
+        Transport::send(
+            &mut net,
+            SiteId::new(0),
+            SiteId::new(1),
+            TestPayload::control("after-heal"),
+        );
+        assert!(net.poll().is_some());
     }
 
     #[test]

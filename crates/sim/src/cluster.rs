@@ -11,9 +11,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use ggd_heap::SiteHeap;
-use ggd_mutator::{MutatorOp, ObjName, Scenario, Step};
+use ggd_mutator::{MembershipEvent, MembershipKind, MutatorOp, ObjName, Scenario, Step};
 use ggd_net::{FaultPlan, SimNetwork, SimNetworkConfig, ThreadedNetwork, Transport};
-use ggd_store::{DurabilityConfig, SiteStore, StoreStats};
+use ggd_store::{
+    DurabilityConfig, MembershipAnnouncement, MembershipChange, SiteStore, StoreStats,
+};
 use ggd_types::{GlobalAddr, SiteId};
 
 use crate::collector::{Collector, SimPayload};
@@ -114,6 +116,20 @@ where
     /// its sender never held, an illegal computation outside every
     /// collector's safety contract.
     legality: Option<Legality>,
+    /// Current expected membership: founding sites, plus joins, minus
+    /// departures. Crashed sites stay members (they come back).
+    membership: BTreeSet<SiteId>,
+    /// Sites gone through a planned leave: their objects and references
+    /// dissolved with them, and no trace of them may survive anywhere.
+    departed: BTreeSet<SiteId>,
+    /// Sites evicted without warning, with their last heap: the oracle
+    /// conservatively keeps treating their objects as existing (exactly like
+    /// a crashed site's), so an unsafe sweep of an object reachable only
+    /// through the evicted site is still caught.
+    evicted: BTreeMap<SiteId, SiteHeap>,
+    /// Every membership announcement so far, in epoch order — late joiners
+    /// catch up on it before applying their own join.
+    membership_log: Vec<MembershipAnnouncement>,
     reclaimed: u64,
     reclaimed_addrs: BTreeSet<GlobalAddr>,
     safety_violations: u64,
@@ -133,6 +149,23 @@ struct DownedSite<M> {
     store: SiteStore<M>,
     restart_after: u64,
     heap: SiteHeap,
+    /// Membership protocol steps the site missed while down: applied (and
+    /// thereby WAL-logged) in order right after recovery, so a recovered
+    /// site never runs with a stale view of the fleet — and a survivor that
+    /// was down across a planned leave still performs its reference
+    /// handoff before anyone can observe it.
+    pending_catchup: Vec<Catchup>,
+}
+
+/// One membership protocol step deferred for a crashed site, replayed in
+/// order at recovery. Shared with the parallel driver's workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Catchup {
+    /// Sever this site's references towards `departing` (the handoff half
+    /// of a planned leave it slept through).
+    Handoff { departing: SiteId, epoch: u64 },
+    /// Apply a membership announcement broadcast while the site was down.
+    Announce(MembershipAnnouncement),
 }
 
 /// Monotone mutator-legality state (the executable mirror of the
@@ -269,13 +302,20 @@ where
         Cluster::with_transport(sites, config, net, factory)
     }
 
-    /// Creates a threaded cluster sized for `scenario`.
+    /// Creates a threaded cluster sized for `scenario`: transport endpoints
+    /// for every site the scenario can ever reach (joins included), runtimes
+    /// for the founding sites only — joined sites get theirs when their join
+    /// executes.
     pub fn threaded_from_scenario(
         scenario: &Scenario,
         config: ClusterConfig,
         factory: impl Fn(SiteId) -> C + 'static,
     ) -> Self {
-        Cluster::threaded(scenario.site_count(), config, factory)
+        let net = ThreadedNetwork::for_sites_with_faults(
+            scenario.max_site_count(),
+            config.faults.clone(),
+        );
+        Cluster::with_transport(scenario.site_count(), config, net, factory)
     }
 }
 
@@ -327,6 +367,10 @@ where
             net: transport,
             names: BTreeMap::new(),
             legality,
+            membership: (0..sites).map(SiteId::new).collect(),
+            departed: BTreeSet::new(),
+            evicted: BTreeMap::new(),
+            membership_log: Vec::new(),
             reclaimed: 0,
             reclaimed_addrs: BTreeSet::new(),
             safety_violations: 0,
@@ -360,6 +404,7 @@ where
             .values()
             .map(SiteRuntime::heap)
             .chain(self.downed.values().map(|d| &d.heap))
+            .chain(self.evicted.values())
     }
 
     /// The addresses of every object reclaimed by local collections so far.
@@ -379,10 +424,17 @@ where
     /// crash window extends past the scenario's end are recovered before
     /// the final settle, so the report always covers the whole cluster.
     pub fn run(&mut self, scenario: &Scenario) -> RunReport {
+        if scenario.has_membership() && self.legality.is_none() {
+            // Departures skip ops exactly like crash windows do, and the
+            // skips can break causal send chains — the same legality
+            // tracking applies.
+            self.legality = Some(Legality::default());
+        }
         for step in scenario.steps() {
             match step {
                 Step::Op(op) => self.execute(*op),
                 Step::Settle => self.settle(),
+                Step::Membership(ev) => self.execute_membership(*ev),
             }
         }
         self.settle();
@@ -424,7 +476,10 @@ where
                 else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site)
+                    || self.addr_is_gone(from_addr)
+                    || self.addr_is_gone(to_addr)
+                {
                     return;
                 }
                 let tick = self.site_mut(site).link_local(from_addr, to_addr);
@@ -436,7 +491,10 @@ where
                 else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site)
+                    || self.addr_is_gone(from_addr)
+                    || self.addr_is_gone(to_addr)
+                {
                     return;
                 }
                 let tick = self.site_mut(site).unlink(from_addr, to_addr);
@@ -452,7 +510,10 @@ where
                 else {
                     return;
                 };
-                if !self.site_is_up(from_site) {
+                if !self.site_is_up(from_site)
+                    || self.addr_is_gone(recipient_addr)
+                    || self.addr_is_gone(target_addr)
+                {
                     return;
                 }
                 if let Some(legality) = &mut self.legality {
@@ -490,7 +551,7 @@ where
                 let Some(&addr) = self.names.get(&name) else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site) || self.addr_is_gone(addr) {
                     return;
                 }
                 let tick = self.site_mut(site).drop_local_root(addr);
@@ -500,7 +561,7 @@ where
                 let Some(&addr) = self.names.get(&name) else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site) || self.addr_is_gone(addr) {
                     return;
                 }
                 let tick = self.site_mut(site).clear_refs(addr);
@@ -509,6 +570,165 @@ where
             MutatorOp::CollectSite { site } => self.collect_site(site),
             MutatorOp::CollectAll => self.collect_all(),
         }
+    }
+
+    /// Executes one epoch-stamped membership event — the elastic-membership
+    /// protocol of the sequential driver.
+    ///
+    /// *Join*: a fresh [`SiteRuntime`] comes up (durably, when the cluster
+    /// runs with durability: it WAL-logs from its very first input), catches
+    /// up on the membership history, and the fleet is told.
+    ///
+    /// *Planned leave*: quiesce, so the departing site's DkLog drains; every
+    /// survivor performs the reference handoff (severing its references
+    /// towards the departing site, durably recorded); quiesce again; the
+    /// departing site dissolves; the announcement lets every survivor retire
+    /// the departed site's `DependencyVector`/`RootedVector` entries. After
+    /// this, no reference to the departed site survives anywhere — the
+    /// membership oracle ([`Cluster::sites_mentioning`]) pins that.
+    ///
+    /// *Evict*: unplanned and permanent — no quiesce, no handoff. The
+    /// evicted site's heap is kept for the oracle (its objects
+    /// conservatively still exist); collectors stay conservative, so
+    /// whatever it pinned becomes residual garbage, never a wrong verdict.
+    pub fn execute_membership(&mut self, ev: MembershipEvent) {
+        self.process_crash_lifecycle();
+        let site = ev.site;
+        match ev.kind {
+            MembershipKind::Join => {
+                if self.membership.contains(&site)
+                    || self.departed.contains(&site)
+                    || self.evicted.contains_key(&site)
+                {
+                    return;
+                }
+                let mut runtime =
+                    SiteRuntime::with_mode(site, (self.factory)(site), self.config.sync_mode);
+                if let Some(store) = SiteStore::open(site, &self.config.durability) {
+                    runtime = runtime.with_store(store);
+                }
+                self.sites.insert(site, runtime);
+                self.membership.insert(site);
+                let history = self.membership_log.clone();
+                for ann in history {
+                    let tick = self.site_mut(site).apply_membership(ann);
+                    self.absorb_tick(site, tick);
+                }
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::Join,
+                    site,
+                });
+                self.settle();
+            }
+            MembershipKind::PlannedLeave => {
+                if !self.membership.contains(&site) {
+                    return;
+                }
+                if !self.site_is_up(site) {
+                    // A crashed site can still leave in an orderly fashion:
+                    // recover its durable state first, then hand off.
+                    self.recover_site(site);
+                }
+                self.settle();
+                let survivors: Vec<SiteId> =
+                    self.sites.keys().copied().filter(|&s| s != site).collect();
+                for s in survivors {
+                    let tick = self.site_mut(s).perform_handoff(site, ev.epoch);
+                    self.absorb_tick(s, tick);
+                }
+                // A survivor that crashed mid-protocol hands off at
+                // recovery, before anyone can observe its revived heap.
+                for downed in self.downed.values_mut() {
+                    downed.pending_catchup.push(Catchup::Handoff {
+                        departing: site,
+                        epoch: ev.epoch,
+                    });
+                }
+                self.settle();
+                self.sites.remove(&site);
+                self.membership.remove(&site);
+                self.departed.insert(site);
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::PlannedLeave,
+                    site,
+                });
+                self.settle();
+            }
+            MembershipKind::Evict => {
+                if !self.membership.contains(&site) {
+                    return;
+                }
+                if let Some(runtime) = self.sites.remove(&site) {
+                    self.evicted.insert(site, runtime.heap().clone());
+                } else if let Some(downed) = self.downed.remove(&site) {
+                    self.evicted.insert(site, downed.heap);
+                }
+                self.membership.remove(&site);
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::Evict,
+                    site,
+                });
+                self.settle();
+            }
+        }
+    }
+
+    /// Records `ann` in the history, applies it to every running site (the
+    /// announcement lands in each WAL), and queues it for sites currently
+    /// down — they apply it right after recovery.
+    fn announce(&mut self, ann: MembershipAnnouncement) {
+        self.membership_log.push(ann);
+        let ups: Vec<SiteId> = self.sites.keys().copied().collect();
+        for s in ups {
+            let tick = self.site_mut(s).apply_membership(ann);
+            self.absorb_tick(s, tick);
+        }
+        for downed in self.downed.values_mut() {
+            downed.pending_catchup.push(Catchup::Announce(ann));
+        }
+    }
+
+    /// True when `addr` is hosted by a site that has permanently left the
+    /// fleet: mutator ops naming it are skipped, exactly like ops lost to a
+    /// crash window.
+    fn addr_is_gone(&self, addr: GlobalAddr) -> bool {
+        self.departed.contains(&addr.site()) || self.evicted.contains_key(&addr.site())
+    }
+
+    /// The sites whose collector state or heap still references `departed`.
+    /// Empty after a planned leave — the membership oracle of the explorer
+    /// corpus asserts exactly this, cluster-wide, for all three collectors.
+    pub fn sites_mentioning(&self, departed: SiteId) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|(_, rt)| {
+                rt.collector().mentions_site(departed)
+                    || rt
+                        .heap()
+                        .remote_targets()
+                        .iter()
+                        .any(|addr| addr.site() == departed)
+            })
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Sites gone through a planned leave so far.
+    pub fn departed_sites(&self) -> &BTreeSet<SiteId> {
+        &self.departed
+    }
+
+    /// Sites evicted so far.
+    pub fn evicted_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.evicted.keys().copied()
+    }
+
+    /// Current expected membership (up or temporarily crashed).
+    pub fn membership(&self) -> &BTreeSet<SiteId> {
+        &self.membership
     }
 
     /// Delivers every in-flight message, running local collections between
@@ -699,6 +919,7 @@ where
                     store,
                     restart_after,
                     heap,
+                    pending_catchup: Vec::new(),
                 },
             );
         } else if let Some(downed) = self.downed.get_mut(&site) {
@@ -715,6 +936,17 @@ where
             SiteRuntime::recover(downed.store, (self.factory)(site), self.config.sync_mode);
         self.sites.insert(site, runtime);
         self.recoveries += 1;
+        // Membership changed while this site was down: catch up in order
+        // (WAL-logged, so a second crash replays the same steps).
+        for action in downed.pending_catchup {
+            let tick = match action {
+                Catchup::Handoff { departing, epoch } => {
+                    self.site_mut(site).perform_handoff(departing, epoch)
+                }
+                Catchup::Announce(ann) => self.site_mut(site).apply_membership(ann),
+            };
+            self.absorb_tick(site, tick);
+        }
     }
 
     /// Recovers every downed site immediately, regardless of its scheduled
@@ -968,6 +1200,7 @@ mod tests {
                 match step {
                     Step::Op(op) => cluster.execute(*op),
                     Step::Settle => cluster.settle(),
+                    Step::Membership(ev) => cluster.execute_membership(*ev),
                 }
             }
             cluster.settle(); // quiescence: nothing in flight
@@ -978,6 +1211,7 @@ mod tests {
                 match step {
                     Step::Op(op) => cluster.execute(*op),
                     Step::Settle => cluster.settle(),
+                    Step::Membership(ev) => cluster.execute_membership(*ev),
                 }
             }
             cluster.settle();
@@ -1041,5 +1275,238 @@ mod tests {
         assert_eq!(report.residual_garbage, 0);
         // Only the island (3 objects) is garbage; the live chains survive.
         assert_eq!(report.reclaimed, 3);
+    }
+
+    /// Three sites; site 0's root holds a reference to site 2's exported
+    /// object; site 2 then leaves in an orderly fashion.
+    fn leave_scenario() -> Scenario {
+        let mut s = Scenario::new(3);
+        let a = s.alloc(ggd_types::SiteId::new(0), true);
+        let c = s.alloc(ggd_types::SiteId::new(2), true);
+        s.send_ref(ggd_types::SiteId::new(2), a, c);
+        s.settle();
+        s.planned_leave(ggd_types::SiteId::new(2));
+        s.settle();
+        s
+    }
+
+    #[test]
+    fn planned_leave_leaves_no_trace_of_the_departed_site() {
+        let scenario = leave_scenario();
+        let departed = ggd_types::SiteId::new(2);
+        let mut cluster =
+            Cluster::from_scenario(&scenario, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert!(!cluster.site_is_up(departed));
+        assert!(cluster.departed_sites().contains(&departed));
+        assert_eq!(
+            cluster.sites_mentioning(departed),
+            Vec::new(),
+            "no heap reference or collector entry may survive a planned leave"
+        );
+        assert_eq!(cluster.membership().len(), 2);
+        assert_eq!(report.sites, 2);
+    }
+
+    #[test]
+    fn baseline_collectors_also_forget_a_departed_site() {
+        use crate::collector::{RefListingCollector, TracingCollector};
+        let scenario = leave_scenario();
+        let departed = ggd_types::SiteId::new(2);
+
+        let mut tracing = Cluster::from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        let report = tracing.run(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(tracing.sites_mentioning(departed), Vec::new());
+
+        let mut reflisting = Cluster::from_scenario(
+            &scenario,
+            ClusterConfig::default(),
+            RefListingCollector::new,
+        );
+        let report = reflisting.run(&scenario);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(reflisting.sites_mentioning(departed), Vec::new());
+    }
+
+    #[test]
+    fn a_joined_site_participates_and_collects() {
+        let s0 = ggd_types::SiteId::new(0);
+        let joiner = ggd_types::SiteId::new(2);
+        let mut s = Scenario::new(2);
+        let a = s.alloc(s0, true);
+        s.settle();
+        s.join(joiner);
+        let d = s.alloc(joiner, true);
+        s.send_ref(joiner, a, d);
+        s.settle();
+        s.op(MutatorOp::ClearRefs { site: s0, name: a });
+        s.op(MutatorOp::DropLocalRoot {
+            site: joiner,
+            name: d,
+        });
+        s.settle();
+
+        let mut cluster =
+            Cluster::from_scenario(&s, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(&s);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(report.residual_garbage, 0);
+        assert!(cluster.site_is_up(joiner));
+        assert_eq!(report.sites, 3);
+        assert!(
+            report.reclaimed >= 1,
+            "the joiner's dropped export must be detected and reclaimed"
+        );
+    }
+
+    #[test]
+    fn a_joined_site_is_durable_from_its_first_input() {
+        use ggd_store::DurabilityConfig;
+        let s0 = ggd_types::SiteId::new(0);
+        let joiner = ggd_types::SiteId::new(2);
+        let mut s = Scenario::new(2);
+        let a = s.alloc(s0, true);
+        s.settle();
+        s.join(joiner);
+        let d = s.alloc(joiner, true);
+        s.send_ref(joiner, a, d);
+        s.settle();
+
+        let config = ClusterConfig {
+            durability: DurabilityConfig::memory(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::from_scenario(&s, config, CausalCollector::new);
+        let report = cluster.run(&s);
+        assert_eq!(report.safety_violations, 0);
+        let before = cluster.heap(joiner).snapshot();
+        cluster.crash_and_recover(joiner);
+        assert_eq!(
+            cluster.heap(joiner).snapshot().edges(),
+            before.edges(),
+            "a mid-run joiner recovers its full state from its own WAL"
+        );
+        assert_eq!(cluster.recoveries(), 1);
+    }
+
+    #[test]
+    fn evicted_site_stays_residual_only() {
+        let departed = ggd_types::SiteId::new(2);
+        let mut s = Scenario::new(3);
+        let a = s.alloc(ggd_types::SiteId::new(0), true);
+        let c = s.alloc(departed, true);
+        s.send_ref(departed, a, c);
+        s.settle();
+        s.evict(departed);
+        s.settle();
+
+        let mut cluster =
+            Cluster::from_scenario(&s, ClusterConfig::default(), CausalCollector::new);
+        let report = cluster.run(&s);
+        assert_eq!(
+            report.safety_violations, 0,
+            "eviction must never cause an unsafe sweep"
+        );
+        assert!(!cluster.site_is_up(departed));
+        assert_eq!(cluster.evicted_sites().collect::<Vec<_>>(), vec![departed]);
+        // No handoff happened: the survivor still references the evicted
+        // site's heap, which conservatively still exists — residual only.
+        assert!(!cluster.sites_mentioning(departed).is_empty());
+    }
+
+    #[test]
+    fn a_survivor_down_across_a_leave_hands_off_at_recovery() {
+        use ggd_store::DurabilityConfig;
+        let s0 = ggd_types::SiteId::new(0);
+        let s1 = ggd_types::SiteId::new(1);
+        let s2 = ggd_types::SiteId::new(2);
+        let mut s = Scenario::new(3);
+        let a = s.alloc(s0, true);
+        let b = s.alloc(s1, true);
+        let c = s.alloc(s2, true);
+        s.send_ref(s2, a, c);
+        s.send_ref(s2, b, c);
+        s.settle();
+        s.planned_leave(s2);
+        s.settle();
+
+        // Probe the prefix (everything before the leave) for the quiescent
+        // clock value, so the crash window opens exactly there: site 1 goes
+        // down holding its reference to site 2 and sleeps through the leave.
+        let durable = || ClusterConfig {
+            durability: DurabilityConfig::memory(),
+            ..ClusterConfig::default()
+        };
+        let prefix = s.steps().len() - 2;
+        let mut probe = Cluster::from_scenario(&s, durable(), CausalCollector::new);
+        for step in &s.steps()[..prefix] {
+            match step {
+                Step::Op(op) => probe.execute(*op),
+                Step::Settle => probe.settle(),
+                Step::Membership(ev) => probe.execute_membership(*ev),
+            }
+        }
+        let crash_at = probe.net_now();
+
+        let config = ClusterConfig {
+            faults: FaultPlan::new().with_crash(s1, crash_at, u64::MAX),
+            ..durable()
+        };
+        let mut cluster = Cluster::from_scenario(&s, config, CausalCollector::new);
+        let report = cluster.run(&s);
+        assert_eq!(report.safety_violations, 0);
+        assert_eq!(cluster.recoveries(), 1, "site 1 crashed and came back");
+        assert!(cluster.site_is_up(s1));
+        assert_eq!(
+            cluster.sites_mentioning(s2),
+            Vec::new(),
+            "the recovered survivor must have caught up on the handoff"
+        );
+    }
+
+    #[test]
+    fn split_and_heal_is_safe_for_every_collector_on_both_transports() {
+        use crate::collector::{RefListingCollector, TracingCollector};
+        let scenario = workloads::random_churn(4, 60, 5);
+        let faults = FaultPlan::new().with_split(4, 5, 40);
+        let config = || ClusterConfig {
+            faults: faults.clone(),
+            ..ClusterConfig::default()
+        };
+        let check = |report: RunReport, name: &str, threaded: bool| {
+            assert_eq!(
+                report.safety_violations, 0,
+                "{name} violated safety under a split-and-heal (threaded={threaded})"
+            );
+        };
+        // Simulated transport.
+        let mut c = Cluster::from_scenario(&scenario, config(), CausalCollector::new);
+        check(c.run(&scenario), "causal", false);
+        let mut c = Cluster::from_scenario(
+            &scenario,
+            config(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        check(c.run(&scenario), "tracing", false);
+        let mut c = Cluster::from_scenario(&scenario, config(), RefListingCollector::new);
+        check(c.run(&scenario), "reflisting", false);
+        // Threaded transport.
+        let mut c = Cluster::threaded_from_scenario(&scenario, config(), CausalCollector::new);
+        check(c.run(&scenario), "causal", true);
+        let mut c = Cluster::threaded_from_scenario(
+            &scenario,
+            config(),
+            TracingCollector::factory(scenario.site_count()),
+        );
+        check(c.run(&scenario), "tracing", true);
+        let mut c = Cluster::threaded_from_scenario(&scenario, config(), RefListingCollector::new);
+        check(c.run(&scenario), "reflisting", true);
     }
 }

@@ -4,7 +4,7 @@
 use ggd_causal::{CausalEngine, CausalMessage};
 use ggd_heap::{EdgeDelta, ReachabilitySnapshot};
 use ggd_net::{MessageClass, Payload};
-use ggd_store::{Decode, Encode};
+use ggd_store::{Decode, Encode, MembershipAnnouncement, MembershipChange};
 use ggd_types::{GlobalAddr, SiteId, VertexId};
 
 /// What one site's garbage-detection engine must provide so the simulator
@@ -74,6 +74,27 @@ pub trait Collector {
     /// fails loudly rather than running with half a state.
     fn restore_state(&mut self, bytes: &[u8]) -> bool {
         let _ = bytes;
+        false
+    }
+
+    /// Membership hook: the fleet gained or lost a site. A planned leave
+    /// arrives *after* the cluster has quiesced and every survivor severed
+    /// its references towards the departed site (the reference handoff), so
+    /// collectors may — and the causal engine and reference listing do —
+    /// retire every trace of it. An eviction is the permanent-crash variant:
+    /// collectors stay conservative and keep whatever the evicted site
+    /// pinned. The default ignores membership entirely, which is correct for
+    /// any engine whose state never names peer sites.
+    fn on_membership(&mut self, ann: &MembershipAnnouncement) {
+        let _ = ann;
+    }
+
+    /// True when the collector's state still references `site` anywhere.
+    /// The membership oracle asserts this is `false` cluster-wide for every
+    /// planned-leave departure. The default `false` is for collectors whose
+    /// state never names sites.
+    fn mentions_site(&self, site: SiteId) -> bool {
+        let _ = site;
         false
     }
 
@@ -155,6 +176,28 @@ impl Collector for CausalCollector {
             }
             Err(_) => false,
         }
+    }
+
+    fn on_membership(&mut self, ann: &MembershipAnnouncement) {
+        match ann.kind {
+            // The causal engine's state is entirely per-vertex; a join needs
+            // nothing until the newcomer's vertices appear through the
+            // ordinary lazy rules.
+            MembershipChange::Join => {}
+            MembershipChange::PlannedLeave => {
+                if ann.site != self.engine.site() {
+                    self.engine.retire_site(ann.site);
+                }
+            }
+            // Eviction: entries keyed by the evicted site's vertices stay —
+            // conservatively, as if the site were merely slow. Residual
+            // garbage, never a wrong verdict.
+            MembershipChange::Evict => {}
+        }
+    }
+
+    fn mentions_site(&self, site: SiteId) -> bool {
+        self.engine.mentions_site(site)
     }
 
     fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
@@ -380,6 +423,24 @@ impl Collector for RefListingCollector {
         self.engine.apply_snapshot(snapshot);
     }
 
+    fn on_membership(&mut self, ann: &MembershipAnnouncement) {
+        match ann.kind {
+            MembershipChange::Join => {}
+            MembershipChange::PlannedLeave => {
+                if ann.site != self.engine.site() {
+                    self.engine.retire_site(ann.site);
+                }
+            }
+            // Reference listing never runs under eviction (it is gated to
+            // loss-free plans), but staying conservative costs nothing.
+            MembershipChange::Evict => {}
+        }
+    }
+
+    fn mentions_site(&self, site: SiteId) -> bool {
+        self.engine.mentions_site(site)
+    }
+
     fn on_message(&mut self, _from: SiteId, message: Self::Msg) {
         self.engine.on_message(message);
     }
@@ -449,6 +510,18 @@ impl Collector for TracingCollector {
 
     fn apply_snapshot(&mut self, snapshot: &ReachabilitySnapshot) {
         self.engine.apply_snapshot(snapshot);
+    }
+
+    fn on_membership(&mut self, ann: &MembershipAnnouncement) {
+        match ann.kind {
+            MembershipChange::Join => self.engine.add_member(ann.site),
+            MembershipChange::PlannedLeave => self.engine.remove_member(ann.site, true),
+            MembershipChange::Evict => self.engine.remove_member(ann.site, false),
+        }
+    }
+
+    fn mentions_site(&self, site: SiteId) -> bool {
+        self.engine.mentions_site(site)
     }
 
     fn on_message(&mut self, _from: SiteId, message: Self::Msg) {

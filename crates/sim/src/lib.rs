@@ -45,4 +45,4 @@ pub use report::RunReport;
 pub use runtime::{SiteRuntime, SiteTick, SyncMode};
 // Durability configuration re-exported so cluster users need not depend on
 // ggd-store directly.
-pub use ggd_store::{DurabilityConfig, DurabilityMode};
+pub use ggd_store::{DurabilityConfig, DurabilityMode, MembershipAnnouncement, MembershipChange};

@@ -50,12 +50,14 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use ggd_heap::SiteHeap;
-use ggd_mutator::{MutatorOp, ObjName, Scenario, Step};
+use ggd_mutator::{MembershipEvent, MembershipKind, MutatorOp, ObjName, Scenario, Step};
 use ggd_net::{Frame, NetMetrics};
-use ggd_store::{SiteStore, StoreStats};
+use ggd_store::{
+    DurabilityConfig, MembershipAnnouncement, MembershipChange, SiteStore, StoreStats,
+};
 use ggd_types::{GlobalAddr, ObjectId, SiteId};
 
-use crate::cluster::{ClusterConfig, Legality};
+use crate::cluster::{Catchup, ClusterConfig, Legality};
 use crate::collector::{Collector, SimPayload};
 use crate::oracle::Oracle;
 use crate::report::RunReport;
@@ -113,6 +115,21 @@ enum Command {
     Crash(SiteId),
     /// Rebuild the site from its durable store.
     Recover(SiteId),
+    /// Bring a fresh site up mid-run, caught up on membership history.
+    Join {
+        site: SiteId,
+        history: Vec<MembershipAnnouncement>,
+    },
+    /// Every hosted survivor severs its references towards `departing`
+    /// (the reference-handoff half of a planned leave).
+    Handoff { departing: SiteId, epoch: u64 },
+    /// Dissolve a site that completed its planned leave.
+    Remove(SiteId),
+    /// Evict a site without ceremony, keeping its heap for the oracle.
+    Evict(SiteId),
+    /// Apply one membership announcement to every hosted runtime (queued
+    /// for hosted sites currently down, applied at recovery).
+    Membership(MembershipAnnouncement),
     /// Hand every runtime and counter back to the coordinator and exit.
     Shutdown,
 }
@@ -175,6 +192,8 @@ struct WorkerFinal<C: Collector> {
     reclaimed_addrs: BTreeSet<GlobalAddr>,
     verdicts: u64,
     recoveries: u64,
+    /// Heaps of evicted hosted sites (oracle ground truth).
+    evicted: BTreeMap<SiteId, SiteHeap>,
 }
 
 /// One worker thread: a shard of site runtimes plus its mailbox plumbing.
@@ -183,6 +202,12 @@ struct Worker<C: Collector, F> {
     runtimes: BTreeMap<SiteId, SiteRuntime<C>>,
     /// Durable stores of hosted sites that are currently down.
     downed: BTreeMap<SiteId, SiteStore<C::Msg>>,
+    /// Membership steps hosted downed sites missed, applied at recovery.
+    pending_catchup: BTreeMap<SiteId, Vec<Catchup>>,
+    /// Heaps of evicted hosted sites.
+    evicted: BTreeMap<SiteId, SiteHeap>,
+    /// Durability config, for sites joining mid-run.
+    durability: DurabilityConfig,
     /// Frames received outside a drain phase, still holding their credit.
     pending: VecDeque<(SiteId, SiteId, Frame)>,
     /// Every worker's mailbox, for inter-site sends (index = worker).
@@ -244,6 +269,78 @@ where
                             SiteRuntime::recover(store, (self.factory)(site), self.sync_mode);
                         self.runtimes.insert(site, runtime);
                         self.recoveries += 1;
+                        // Catch up on membership steps missed while down, in
+                        // order (WAL-logged, so a second crash replays them).
+                        for action in self.pending_catchup.remove(&site).unwrap_or_default() {
+                            let tick = match action {
+                                Catchup::Handoff { departing, epoch } => {
+                                    self.runtime(site).perform_handoff(departing, epoch)
+                                }
+                                Catchup::Announce(ann) => self.runtime(site).apply_membership(ann),
+                            };
+                            self.absorb(site, tick);
+                        }
+                    }
+                }
+                Command::Join { site, history } => {
+                    let mut runtime =
+                        SiteRuntime::with_mode(site, (self.factory)(site), self.sync_mode);
+                    if let Some(store) = SiteStore::open(site, &self.durability) {
+                        runtime = runtime.with_store(store);
+                    }
+                    self.runtimes.insert(site, runtime);
+                    for ann in history {
+                        let tick = self.runtime(site).apply_membership(ann);
+                        self.absorb(site, tick);
+                    }
+                }
+                Command::Handoff { departing, epoch } => {
+                    let sites: Vec<SiteId> = self
+                        .runtimes
+                        .keys()
+                        .copied()
+                        .filter(|&s| s != departing)
+                        .collect();
+                    for site in sites {
+                        let tick = self.runtime(site).perform_handoff(departing, epoch);
+                        self.absorb(site, tick);
+                    }
+                    let downed: Vec<SiteId> = self
+                        .downed
+                        .keys()
+                        .copied()
+                        .filter(|&s| s != departing)
+                        .collect();
+                    for site in downed {
+                        self.pending_catchup
+                            .entry(site)
+                            .or_default()
+                            .push(Catchup::Handoff { departing, epoch });
+                    }
+                }
+                Command::Remove(site) => {
+                    self.runtimes.remove(&site);
+                    self.downed.remove(&site);
+                    self.pending_catchup.remove(&site);
+                }
+                Command::Evict(site) => {
+                    if let Some(runtime) = self.runtimes.remove(&site) {
+                        self.evicted.insert(site, runtime.heap().clone());
+                    }
+                    self.downed.remove(&site);
+                    self.pending_catchup.remove(&site);
+                }
+                Command::Membership(ann) => {
+                    let sites: Vec<SiteId> = self.runtimes.keys().copied().collect();
+                    for site in sites {
+                        let tick = self.runtime(site).apply_membership(ann);
+                        self.absorb(site, tick);
+                    }
+                    for &site in self.downed.keys() {
+                        self.pending_catchup
+                            .entry(site)
+                            .or_default()
+                            .push(Catchup::Announce(ann));
                     }
                 }
                 Command::Shutdown => {
@@ -254,6 +351,7 @@ where
                         reclaimed_addrs: std::mem::take(&mut self.reclaimed_addrs),
                         verdicts: self.verdicts,
                         recoveries: self.recoveries,
+                        evicted: std::mem::take(&mut self.evicted),
                     })));
                     return;
                 }
@@ -484,11 +582,25 @@ struct Coordinator<C: Collector> {
     downed: BTreeMap<SiteId, u64>,
     crashes_applied: Vec<bool>,
     workers: usize,
+    /// Current expected membership (up or temporarily crashed).
+    membership: BTreeSet<SiteId>,
+    /// Sites gone through a planned leave.
+    departed: BTreeSet<SiteId>,
+    /// Sites evicted (heaps retained worker-side for the oracle).
+    evicted: BTreeSet<SiteId>,
+    /// Every announcement so far, replayed to joiners as catch-up history.
+    membership_log: Vec<MembershipAnnouncement>,
 }
 
 impl<C: Collector> Coordinator<C> {
     fn site_is_up(&self, site: SiteId) -> bool {
-        !self.downed.contains_key(&site)
+        self.membership.contains(&site) && !self.downed.contains_key(&site)
+    }
+
+    /// True when `addr` is hosted by a site that permanently left: ops
+    /// naming it are skipped, exactly like ops lost to a crash window.
+    fn addr_is_gone(&self, addr: GlobalAddr) -> bool {
+        self.departed.contains(&addr.site()) || self.evicted.contains(&addr.site())
     }
 
     fn send_to_site(&self, site: SiteId, op: SiteOp) {
@@ -622,7 +734,10 @@ impl<C: Collector> Coordinator<C> {
                 else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site)
+                    || self.addr_is_gone(from_addr)
+                    || self.addr_is_gone(to_addr)
+                {
                     return;
                 }
                 self.send_to_site(
@@ -639,7 +754,10 @@ impl<C: Collector> Coordinator<C> {
                 else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site)
+                    || self.addr_is_gone(from_addr)
+                    || self.addr_is_gone(to_addr)
+                {
                     return;
                 }
                 self.send_to_site(
@@ -660,7 +778,10 @@ impl<C: Collector> Coordinator<C> {
                 else {
                     return;
                 };
-                if !self.site_is_up(from_site) {
+                if !self.site_is_up(from_site)
+                    || self.addr_is_gone(recipient_addr)
+                    || self.addr_is_gone(target_addr)
+                {
                     return;
                 }
                 if let Some(legality) = &mut self.legality {
@@ -680,7 +801,7 @@ impl<C: Collector> Coordinator<C> {
                 let Some(&addr) = self.names.get(&name) else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site) || self.addr_is_gone(addr) {
                     return;
                 }
                 self.send_to_site(site, SiteOp::DropLocalRoot { addr });
@@ -689,7 +810,7 @@ impl<C: Collector> Coordinator<C> {
                 let Some(&addr) = self.names.get(&name) else {
                     return;
                 };
-                if !self.site_is_up(site) {
+                if !self.site_is_up(site) || self.addr_is_gone(addr) {
                     return;
                 }
                 self.send_to_site(site, SiteOp::ClearRefs { addr });
@@ -702,6 +823,89 @@ impl<C: Collector> Coordinator<C> {
             MutatorOp::CollectAll => self.broadcast(|| Command::Collect { ack: false }),
         }
     }
+
+    /// Records `ann` in the history and mails it to every worker. FIFO
+    /// mailbox order guarantees a preceding `Join`/`Remove`/`Evict` command
+    /// on the owning worker lands before the announcement does.
+    fn announce(&mut self, ann: MembershipAnnouncement) {
+        self.membership_log.push(ann);
+        self.broadcast(|| Command::Membership(ann));
+    }
+
+    /// The parallel half of the elastic-membership protocol — same
+    /// join / planned-leave / evict sequencing as
+    /// [`Cluster::execute_membership`](crate::Cluster), with the settle
+    /// barriers standing in for the sequential quiesce points.
+    fn execute_membership(&mut self, ev: MembershipEvent) {
+        self.lifecycle();
+        let site = ev.site;
+        match ev.kind {
+            MembershipKind::Join => {
+                if self.membership.contains(&site)
+                    || self.departed.contains(&site)
+                    || self.evicted.contains(&site)
+                {
+                    return;
+                }
+                self.membership.insert(site);
+                let history = self.membership_log.clone();
+                let _ = self.mailboxes[worker_of(site, self.workers)]
+                    .send(Command::Join { site, history });
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::Join,
+                    site,
+                });
+                self.settle();
+            }
+            MembershipKind::PlannedLeave => {
+                if !self.membership.contains(&site) {
+                    return;
+                }
+                if self.downed.contains_key(&site) {
+                    // A crashed site can still leave in an orderly fashion:
+                    // recover its durable state first, then hand off.
+                    self.recover_site(site);
+                }
+                // Quiesce so the departing site's DkLog drains, hand off on
+                // every survivor, quiesce again, then dissolve + announce.
+                self.settle();
+                self.broadcast(|| Command::Handoff {
+                    departing: site,
+                    epoch: ev.epoch,
+                });
+                self.settle();
+                let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Remove(site));
+                self.membership.remove(&site);
+                self.departed.insert(site);
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::PlannedLeave,
+                    site,
+                });
+                self.settle();
+            }
+            MembershipKind::Evict => {
+                if !self.membership.contains(&site) {
+                    return;
+                }
+                if self.downed.contains_key(&site) {
+                    // Recover first so the eviction can keep a heap for the
+                    // oracle (replay reconstructs the crash-time heap).
+                    self.recover_site(site);
+                }
+                let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Evict(site));
+                self.membership.remove(&site);
+                self.evicted.insert(site);
+                self.announce(MembershipAnnouncement {
+                    epoch: ev.epoch,
+                    kind: MembershipChange::Evict,
+                    site,
+                });
+                self.settle();
+            }
+        }
+    }
 }
 
 /// The end state of a parallel run: every site runtime reassembled on the
@@ -711,6 +915,10 @@ pub struct ParallelCluster<C: Collector> {
     sites: BTreeMap<SiteId, SiteRuntime<C>>,
     reclaimed_addrs: BTreeSet<GlobalAddr>,
     recoveries: u64,
+    /// Heaps of evicted sites — their objects conservatively still exist.
+    evicted: BTreeMap<SiteId, SiteHeap>,
+    /// Sites gone through a planned leave over the run.
+    departed: BTreeSet<SiteId>,
 }
 
 impl<C> ParallelCluster<C>
@@ -781,6 +989,9 @@ where
                 index,
                 runtimes,
                 downed: BTreeMap::new(),
+                pending_catchup: BTreeMap::new(),
+                evicted: BTreeMap::new(),
+                durability: config.durability.clone(),
                 pending: VecDeque::new(),
                 mailboxes: mailboxes.clone(),
                 replies: reply_tx.clone(),
@@ -804,7 +1015,7 @@ where
         drop(reply_tx);
 
         let crashes_applied = vec![false; config.faults.crashes().len()];
-        let legality = if config.faults.crashes().is_empty() {
+        let legality = if config.faults.crashes().is_empty() && !scenario.has_membership() {
             None
         } else {
             Some(Legality::default())
@@ -820,6 +1031,10 @@ where
             downed: BTreeMap::new(),
             crashes_applied,
             workers,
+            membership: (0..site_count).map(SiteId::new).collect(),
+            departed: BTreeSet::new(),
+            evicted: BTreeSet::new(),
+            membership_log: Vec::new(),
         };
 
         // Drive the scenario: ops stream to the shards, settles synchronize.
@@ -827,6 +1042,7 @@ where
             match step {
                 Step::Op(op) => coordinator.dispatch(*op),
                 Step::Settle => coordinator.settle(),
+                Step::Membership(ev) => coordinator.execute_membership(*ev),
             }
         }
         coordinator.settle();
@@ -846,6 +1062,7 @@ where
         let mut reclaimed_addrs = BTreeSet::new();
         let mut verdicts = 0;
         let mut recoveries = 0;
+        let mut evicted = BTreeMap::new();
         for _ in 0..workers {
             match coordinator.replies.recv_timeout(PHASE_DEADLINE) {
                 Ok(Reply::Finished(state)) => {
@@ -855,6 +1072,7 @@ where
                     reclaimed_addrs.extend(state.reclaimed_addrs);
                     verdicts += state.verdicts;
                     recoveries += state.recoveries;
+                    evicted.extend(state.evicted);
                 }
                 Ok(other) => panic!(
                     "parallel protocol violation: got {} while awaiting shutdown",
@@ -870,15 +1088,21 @@ where
 
         assert_eq!(
             sites.len(),
-            site_count as usize,
-            "every site must be up and returned at end of run"
+            coordinator.membership.len(),
+            "every member site must be up and returned at end of run"
         );
-        let residual = Oracle::garbage(sites.values().map(SiteRuntime::heap)).len() as u64;
+        let residual = Oracle::garbage(
+            sites
+                .values()
+                .map(SiteRuntime::heap)
+                .chain(evicted.values()),
+        )
+        .len() as u64;
         let allocated = sites.values().map(|rt| rt.heap().stats().allocated).sum();
         let triggered = shared.triggered_at.load(Ordering::SeqCst);
         let report = RunReport {
             collector: collector_name,
-            sites: site_count,
+            sites: sites.len() as u32,
             allocated,
             reclaimed,
             safety_violations: 0,
@@ -893,6 +1117,8 @@ where
             sites,
             reclaimed_addrs,
             recoveries,
+            evicted,
+            departed: coordinator.departed.clone(),
         };
         (report, cluster)
     }
@@ -904,9 +1130,40 @@ impl<C: Collector> ParallelCluster<C> {
         self.sites[&site].heap()
     }
 
-    /// Iterates over every site's heap (all sites are up at end of run).
+    /// Iterates over every site's heap — member sites plus evicted heaps
+    /// (the latter conservatively still exist for the oracle).
     pub fn heaps(&self) -> impl Iterator<Item = &SiteHeap> {
-        self.sites.values().map(SiteRuntime::heap)
+        self.sites
+            .values()
+            .map(SiteRuntime::heap)
+            .chain(self.evicted.values())
+    }
+
+    /// The sites whose collector state or heap still references `departed`.
+    /// Empty after a planned leave, on any worker count.
+    pub fn sites_mentioning(&self, departed: SiteId) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|(_, rt)| {
+                rt.collector().mentions_site(departed)
+                    || rt
+                        .heap()
+                        .remote_targets()
+                        .iter()
+                        .any(|addr| addr.site() == departed)
+            })
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Sites gone through a planned leave over the run.
+    pub fn departed_sites(&self) -> &BTreeSet<SiteId> {
+        &self.departed
+    }
+
+    /// Sites evicted over the run.
+    pub fn evicted_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.evicted.keys().copied()
     }
 
     /// The addresses of every object reclaimed by local collections.
@@ -1014,6 +1271,63 @@ mod tests {
         let scenario = workloads::paper_example();
         let _ =
             ParallelCluster::run_seeded(&scenario, ClusterConfig::default(), CausalCollector::new);
+    }
+
+    #[test]
+    fn planned_leave_on_workers_leaves_no_trace() {
+        let departed = SiteId::new(2);
+        let mut s = Scenario::new(3);
+        let a = s.alloc(SiteId::new(0), true);
+        let c = s.alloc(departed, true);
+        s.send_ref(departed, a, c);
+        s.settle();
+        s.planned_leave(departed);
+        s.settle();
+
+        for workers in [1, 2, 3] {
+            let (report, cluster) =
+                ParallelCluster::run_seeded(&s, parallel_config(workers), CausalCollector::new);
+            assert_eq!(report.safety_violations, 0, "workers={workers}");
+            assert_eq!(report.residual_garbage, 0, "workers={workers}");
+            assert_eq!(report.sites, 2, "workers={workers}");
+            assert!(cluster.departed_sites().contains(&departed));
+            assert_eq!(
+                cluster.sites_mentioning(departed),
+                Vec::new(),
+                "workers={workers}: a survivor still references the departed site"
+            );
+        }
+    }
+
+    #[test]
+    fn join_and_evict_run_on_workers() {
+        let joiner = SiteId::new(3);
+        let victim = SiteId::new(2);
+        let mut s = Scenario::new(3);
+        let a = s.alloc(SiteId::new(0), true);
+        let c = s.alloc(victim, true);
+        s.send_ref(victim, a, c);
+        s.settle();
+        s.join(joiner);
+        let d = s.alloc(joiner, true);
+        s.send_ref(joiner, a, d);
+        s.settle();
+        s.evict(victim);
+        s.settle();
+
+        for workers in [1, 2] {
+            let (report, cluster) =
+                ParallelCluster::run_seeded(&s, parallel_config(workers), CausalCollector::new);
+            assert_eq!(report.safety_violations, 0, "workers={workers}");
+            // 3 founding members - 1 evicted + 1 joined.
+            assert_eq!(report.sites, 3, "workers={workers}");
+            assert!(cluster.site_is_up(joiner));
+            assert!(!cluster.site_is_up(victim));
+            assert_eq!(cluster.evicted_sites().collect::<Vec<_>>(), vec![victim]);
+            // No handoff on evict: the survivor still references the
+            // evicted heap, which conservatively still exists.
+            assert!(!cluster.sites_mentioning(victim).is_empty());
+        }
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //! heap. The caller owns the transport and the run-wide counters.
 
 use ggd_heap::{CollectionOutcome, ObjRef, SiteHeap};
-use ggd_store::{CheckpointImage, SiteStore, WalRecord};
+use ggd_store::{CheckpointImage, HandoffRecord, MembershipAnnouncement, SiteStore, WalRecord};
 use ggd_types::{GlobalAddr, SiteId};
+
+use std::collections::BTreeSet;
 
 use crate::collector::Collector;
 
@@ -203,6 +205,15 @@ impl<C: Collector> SiteRuntime<C> {
                     let _ = self.sync();
                 }
             }
+            WalRecord::Membership { ann } => {
+                let _ = self.apply_membership(*ann);
+            }
+            WalRecord::Handoff { record } => {
+                // Replay applies the *recorded* drops, never a fresh heap
+                // scan: the severing is identical regardless of what the
+                // surrounding replay has reconstructed so far.
+                let _ = self.apply_handoff(record);
+            }
         }
     }
 
@@ -375,6 +386,62 @@ impl<C: Collector> SiteRuntime<C> {
         let mut tick = self.sync();
         tick.verdicts_applied += applied;
         tick
+    }
+
+    /// Applies one epoch-stamped membership announcement: WAL-logs it, then
+    /// lets the collector adjust (retire a departed site's vectors, grow or
+    /// shrink the tracing consensus barrier). Retirement can unblock
+    /// verdicts, so the tick carries any newly proven garbage.
+    pub fn apply_membership(&mut self, ann: MembershipAnnouncement) -> SiteTick<C::Msg> {
+        self.log(WalRecord::Membership { ann });
+        self.collector.on_membership(&ann);
+        let applied = self.apply_verdicts();
+        let mut tick = self.sync();
+        tick.verdicts_applied += applied;
+        tick
+    }
+
+    /// The surviving half of a planned leave's reference handoff: scans this
+    /// site's heap for references towards objects hosted by `departing`,
+    /// records them as an explicit [`HandoffRecord`] (WAL-logged so replay
+    /// re-severs the same edges independent of surrounding state), then
+    /// severs every copy of each edge. The severing flows through the
+    /// ordinary snapshot pipeline, so the collector observes it exactly like
+    /// any mutator unlink.
+    pub fn perform_handoff(&mut self, departing: SiteId, epoch: u64) -> SiteTick<C::Msg> {
+        let mut drops: BTreeSet<(GlobalAddr, GlobalAddr)> = BTreeSet::new();
+        for obj in self.heap.iter() {
+            let holder = self.heap.addr_of(obj.id());
+            for target in obj.remote_refs() {
+                if target.site() == departing {
+                    drops.insert((holder, target));
+                }
+            }
+        }
+        let record = HandoffRecord {
+            departing,
+            epoch,
+            drops: drops.into_iter().collect(),
+        };
+        self.log(WalRecord::Handoff {
+            record: record.clone(),
+        });
+        self.apply_handoff(&record)
+    }
+
+    /// Severs the recorded handoff edges (all copies of each) and syncs.
+    /// Shared by [`SiteRuntime::perform_handoff`] and WAL replay.
+    fn apply_handoff(&mut self, record: &HandoffRecord) -> SiteTick<C::Msg> {
+        for &(holder, target) in &record.drops {
+            if self.heap.contains(holder.object()) {
+                while matches!(
+                    self.heap
+                        .remove_ref(holder.object(), ObjRef::Remote(target)),
+                    Ok(true)
+                ) {}
+            }
+        }
+        self.sync()
     }
 
     /// Runs a local mark-sweep collection. The caller decides whether the

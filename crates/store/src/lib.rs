@@ -44,12 +44,14 @@
 //! ```
 
 pub mod codec;
+pub mod membership;
 pub mod record;
 pub mod store;
 pub mod wal;
 pub mod wire;
 
 pub use codec::{decode_from_slice, encode_to_vec, CodecError, Decode, Encode, Reader};
+pub use membership::{HandoffRecord, MembershipAnnouncement, MembershipChange};
 pub use record::WalRecord;
 pub use store::{CheckpointImage, DurabilityConfig, DurabilityMode, SiteStore, StoreStats};
 pub use wal::{StoreError, WalTail, FORMAT_VERSION};

@@ -1,0 +1,205 @@
+//! Durable membership wire types: epoch-stamped announcements and
+//! reference-handoff records.
+//!
+//! Elastic membership introduces two new kinds of durable event. A
+//! [`MembershipAnnouncement`] tells a site that the fleet changed — a site
+//! joined, left in an orderly fashion, or was evicted — stamped with the
+//! cluster-wide membership epoch so replays and late deliveries are
+//! idempotent. A [`HandoffRecord`] is the planned-departure counterpart of
+//! an unlink batch: it enumerates the remote references a surviving site
+//! severs towards the departing site (the departing site's exports are
+//! re-homed before it drains its DkLog, so severing the last inbound edges
+//! is what lets every surviving `DependencyVector` retire the departed
+//! site's entries).
+//!
+//! Both types land in the WAL (see [`crate::record::WalRecord`]) so that
+//! recovery replay reconstructs post-departure state bit-for-bit; their
+//! tags and field order are part of the durable format guarded by
+//! [`crate::wal::FORMAT_VERSION`].
+
+use ggd_types::{GlobalAddr, SiteId};
+
+use crate::codec::{CodecError, Decode, Encode, Reader};
+
+/// The kind of fleet change an announcement describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MembershipChange {
+    /// A fresh site joined the fleet.
+    Join,
+    /// A site left after quiescing and handing its references off — no
+    /// reference to it may survive anywhere.
+    PlannedLeave,
+    /// A site was evicted without warning — the permanent-crash variant;
+    /// survivors keep conservative state about it.
+    Evict,
+}
+
+/// One epoch-stamped membership event, as it crosses the wire and lands in
+/// every surviving site's WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MembershipAnnouncement {
+    /// Cluster-wide membership epoch: strictly increasing across events, so
+    /// replayed or duplicated announcements are recognizably stale.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: MembershipChange,
+    /// The site that joined, left or was evicted.
+    pub site: SiteId,
+}
+
+/// The references one surviving site severed towards a departing site
+/// during a planned leave.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HandoffRecord {
+    /// The departing site.
+    pub departing: SiteId,
+    /// Epoch of the departure announcement this handoff belongs to.
+    pub epoch: u64,
+    /// `(holder, target)` pairs: `holder` (an object of the surviving
+    /// site) dropped every reference it held to `target` (an object hosted
+    /// by the departing site). Sorted, with one entry per edge regardless
+    /// of multiplicity — the apply path severs all copies.
+    pub drops: Vec<(GlobalAddr, GlobalAddr)>,
+}
+
+impl Encode for MembershipChange {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MembershipChange::Join => 0,
+            MembershipChange::PlannedLeave => 1,
+            MembershipChange::Evict => 2,
+        });
+    }
+}
+impl Decode for MembershipChange {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(MembershipChange::Join),
+            1 => Ok(MembershipChange::PlannedLeave),
+            2 => Ok(MembershipChange::Evict),
+            tag => Err(CodecError::BadTag {
+                what: "MembershipChange",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for MembershipAnnouncement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.kind.encode(out);
+        self.site.encode(out);
+    }
+}
+impl Decode for MembershipAnnouncement {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MembershipAnnouncement {
+            epoch: u64::decode(r)?,
+            kind: MembershipChange::decode(r)?,
+            site: SiteId::decode(r)?,
+        })
+    }
+}
+
+impl Encode for HandoffRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.departing.encode(out);
+        self.epoch.encode(out);
+        self.drops.encode(out);
+    }
+}
+impl Decode for HandoffRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(HandoffRecord {
+            departing: SiteId::decode(r)?,
+            epoch: u64::decode(r)?,
+            drops: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_vec};
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) -> Vec<u8> {
+        let bytes = encode_to_vec(&value);
+        let back: T = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, value);
+        assert_eq!(encode_to_vec(&back), bytes, "re-encode is bit-identical");
+        bytes
+    }
+
+    #[test]
+    fn announcements_round_trip_over_the_pinned_corpus() {
+        let corpus = [
+            MembershipAnnouncement {
+                epoch: 1,
+                kind: MembershipChange::Join,
+                site: SiteId::new(4),
+            },
+            MembershipAnnouncement {
+                epoch: 2,
+                kind: MembershipChange::PlannedLeave,
+                site: SiteId::new(0),
+            },
+            MembershipAnnouncement {
+                epoch: 300,
+                kind: MembershipChange::Evict,
+                site: SiteId::new(129),
+            },
+        ];
+        for ann in corpus {
+            round_trip(ann);
+        }
+    }
+
+    #[test]
+    fn announcement_bytes_are_pinned() {
+        // The durable format: epoch varint, kind tag byte, site varint.
+        // These exact bytes are what a v1 WAL contains; changing them
+        // requires a FORMAT_VERSION bump.
+        let bytes = encode_to_vec(&MembershipAnnouncement {
+            epoch: 2,
+            kind: MembershipChange::PlannedLeave,
+            site: SiteId::new(3),
+        });
+        assert_eq!(bytes, vec![2, 1, 3]);
+        let bytes = encode_to_vec(&MembershipAnnouncement {
+            epoch: 300,
+            kind: MembershipChange::Evict,
+            site: SiteId::new(129),
+        });
+        assert_eq!(bytes, vec![0xac, 0x02, 2, 0x81, 0x01]);
+    }
+
+    #[test]
+    fn handoff_records_round_trip_over_the_pinned_corpus() {
+        round_trip(HandoffRecord::default());
+        let bytes = round_trip(HandoffRecord {
+            departing: SiteId::new(2),
+            epoch: 7,
+            drops: vec![
+                (GlobalAddr::new(0, 1), GlobalAddr::new(2, 9)),
+                (GlobalAddr::new(1, 4), GlobalAddr::new(2, 9)),
+            ],
+        });
+        // departing=2, epoch=7, len=2, then (site, object) per addr.
+        assert_eq!(bytes, vec![2, 7, 2, 0, 1, 2, 9, 1, 4, 2, 9]);
+    }
+
+    #[test]
+    fn corrupt_membership_tags_are_rejected() {
+        assert!(matches!(
+            decode_from_slice::<MembershipChange>(&[9]),
+            Err(CodecError::BadTag { .. })
+        ));
+        // Announcement with an invalid kind tag.
+        assert!(matches!(
+            decode_from_slice::<MembershipAnnouncement>(&[1, 9, 0]),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+}

@@ -11,6 +11,7 @@
 use ggd_types::{GlobalAddr, SiteId};
 
 use crate::codec::{CodecError, Decode, Encode, Reader};
+use crate::membership::{HandoffRecord, MembershipAnnouncement};
 
 /// One durable event of a site runtime, generic over the collector's
 /// control-message type `M`.
@@ -72,6 +73,19 @@ pub enum WalRecord<M> {
     },
     /// A local mark-sweep collection ran.
     Collect,
+    /// A membership announcement was applied: the fleet gained or lost a
+    /// site. For a joining site this is typically its very first record.
+    Membership {
+        /// The epoch-stamped announcement.
+        ann: MembershipAnnouncement,
+    },
+    /// This site severed its references towards a departing site as part of
+    /// a planned leave (the drops are recorded explicitly so replay applies
+    /// the same severing regardless of surrounding heap state).
+    Handoff {
+        /// The severed `(holder, target)` edges.
+        record: HandoffRecord,
+    },
 }
 
 impl<M: Encode> Encode for WalRecord<M> {
@@ -120,6 +134,14 @@ impl<M: Encode> Encode for WalRecord<M> {
                 msg.encode(out);
             }
             WalRecord::Collect => out.push(8),
+            WalRecord::Membership { ann } => {
+                out.push(9);
+                ann.encode(out);
+            }
+            WalRecord::Handoff { record } => {
+                out.push(10);
+                record.encode(out);
+            }
         }
     }
 }
@@ -158,6 +180,12 @@ impl<M: Decode> Decode for WalRecord<M> {
                 msg: M::decode(r)?,
             }),
             8 => Ok(WalRecord::Collect),
+            9 => Ok(WalRecord::Membership {
+                ann: MembershipAnnouncement::decode(r)?,
+            }),
+            10 => Ok(WalRecord::Handoff {
+                record: HandoffRecord::decode(r)?,
+            }),
             tag => Err(CodecError::BadTag {
                 what: "WalRecord",
                 tag,
@@ -204,6 +232,20 @@ mod tests {
                 msg: 77,
             },
             WalRecord::Collect,
+            WalRecord::Membership {
+                ann: crate::membership::MembershipAnnouncement {
+                    epoch: 3,
+                    kind: crate::membership::MembershipChange::Join,
+                    site: SiteId::new(4),
+                },
+            },
+            WalRecord::Handoff {
+                record: crate::membership::HandoffRecord {
+                    departing: SiteId::new(2),
+                    epoch: 5,
+                    drops: vec![(GlobalAddr::new(0, 1), GlobalAddr::new(2, 3))],
+                },
+            },
         ];
         for record in records {
             let bytes = encode_to_vec(&record);

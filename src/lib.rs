@@ -51,10 +51,15 @@ pub use ggd_types as types;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use ggd_causal::{CausalEngine, CausalMessage};
-    pub use ggd_explore::{explore, run_triple, CheckFailure, ExplorerConfig, RunMode, Triple};
+    pub use ggd_explore::{
+        explore, membership_corpus_triple, run_triple, CheckFailure, ExplorerConfig, RunMode,
+        Triple,
+    };
     pub use ggd_heap::{ObjRef, SiteHeap};
-    pub use ggd_mutator::generator::{ScenarioSpec, Segment, SegmentWeights};
-    pub use ggd_mutator::{workloads, MutatorOp, ObjName, Scenario, Step};
+    pub use ggd_mutator::generator::{splice_membership, ScenarioSpec, Segment, SegmentWeights};
+    pub use ggd_mutator::{
+        workloads, MembershipEvent, MembershipKind, MutatorOp, ObjName, Scenario, Step,
+    };
     pub use ggd_net::{
         FaultPlan, Frame, LinkFault, NamedFaultPlan, NetMetrics, SimNetwork, SimNetworkConfig,
         ThreadedNetwork, Transport, WireCodec,
@@ -63,7 +68,7 @@ pub mod prelude {
         CausalCollector, Cluster, ClusterConfig, Collector, DurabilityConfig, DurabilityMode,
         Oracle, ParallelCluster, RefListingCollector, RunReport, SiteRuntime, TracingCollector,
     };
-    pub use ggd_store::{SiteStore, WalRecord};
+    pub use ggd_store::{SiteStore, StoreStats, WalRecord};
     pub use ggd_types::{
         DependencyVector, EventIndex, GlobalAddr, ObjectId, SiteId, Timestamp, VertexId,
     };

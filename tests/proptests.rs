@@ -224,3 +224,125 @@ proptest! {
         prop_assert_eq!(report.reclaimed, u64::from(k));
     }
 }
+
+/// Pinned corpus for the departed-site legality property: seeds are
+/// arbitrary (the property must hold on every seed), frozen so a
+/// regression names the exact failing scenario.
+const PINNED_DEPARTURE_SEEDS: &[u64] = &[0, 1, 2, 3, 5, 8, 13, 21];
+
+/// Builds the planned-departure pair for `seed`: a *control* scenario that
+/// departs `victim` after a generated prefix, and an *extended* scenario
+/// appending ops that target the departed site — an alloc on it, sends
+/// from it and towards its objects, links, unlinks, ref-clears and
+/// root-drops naming its addresses. Every appended op must be skipped by
+/// the same legality tracking crash windows use, leaving the two runs
+/// bit-identical.
+fn departed_ops_pair(seed: u64) -> (Scenario, Scenario, SiteId) {
+    let spec = ScenarioSpec::generate(seed, &SegmentWeights::default());
+    let mut base = spec.build(seed).scenario;
+    let founding = base.site_count();
+    let victim = if founding > 2 {
+        SiteId::new(founding - 1)
+    } else {
+        // Never shrink the fleet below two sites: introduce the victim
+        // as a mid-run joiner first, exactly like `splice_membership`.
+        let joiner = SiteId::new(founding);
+        base.join(joiner);
+        joiner
+    };
+    let survivor = SiteId::new(0);
+    // Give the victim a rooted object and export it, so the departure has
+    // a real reference to hand off and the appended ops name live state.
+    let on_victim = base.alloc(victim, true);
+    let anchor = base.alloc(survivor, true);
+    base.send_ref(victim, anchor, on_victim);
+    base.settle();
+    base.planned_leave(victim);
+
+    let mut control = base.clone();
+    control.settle();
+
+    let mut extended = base;
+    let ghost = extended.alloc(victim, true);
+    extended.send_ref(victim, anchor, ghost);
+    extended.send_ref(survivor, anchor, on_victim);
+    extended.op(MutatorOp::LinkLocal {
+        site: victim,
+        from: on_victim,
+        to: on_victim,
+    });
+    extended.op(MutatorOp::Unlink {
+        site: survivor,
+        from: anchor,
+        to: on_victim,
+    });
+    extended.op(MutatorOp::ClearRefs {
+        site: victim,
+        name: on_victim,
+    });
+    extended.op(MutatorOp::DropLocalRoot {
+        site: victim,
+        name: on_victim,
+    });
+    extended.settle();
+    (control, extended, victim)
+}
+
+/// The property body, shared by the pinned and the sampled variants
+/// (plain `assert!`s abort a proptest case just as well): ops targeting a
+/// departed site are rejected with the same legality tracking crashes
+/// use, so the extended run is indistinguishable from the control run and
+/// neither leaves a single reference to the departed site.
+fn assert_departed_ops_are_skipped(seed: u64) {
+    let (control, extended, victim) = departed_ops_pair(seed);
+    let config = ClusterConfig {
+        seed: seed.wrapping_mul(31),
+        durability: DurabilityConfig::memory(),
+        ..ClusterConfig::default()
+    };
+    let (control_report, control_cluster) =
+        Cluster::run_seeded(&control, config.clone(), CausalCollector::new);
+    let (extended_report, extended_cluster) =
+        Cluster::run_seeded(&extended, config, CausalCollector::new);
+
+    assert_eq!(control_report.safety_violations, 0, "seed {seed}");
+    assert_eq!(
+        control_report, extended_report,
+        "seed {seed}: ops targeting the departed site leaked into the run"
+    );
+    assert_eq!(
+        control_cluster.reclaimed_addrs(),
+        extended_cluster.reclaimed_addrs(),
+        "seed {seed}: reclaimed sets diverge"
+    );
+    assert_eq!(
+        control_cluster.garbage_addrs(),
+        extended_cluster.garbage_addrs(),
+        "seed {seed}: residual garbage diverges"
+    );
+    for cluster in [&control_cluster, &extended_cluster] {
+        assert!(cluster.departed_sites().contains(&victim), "seed {seed}");
+        assert!(
+            cluster.sites_mentioning(victim).is_empty(),
+            "seed {seed}: departed site {victim} is still referenced"
+        );
+    }
+}
+
+/// Ops targeting a departed site are rejected/skipped — pinned corpus.
+#[test]
+fn pinned_ops_on_departed_sites_are_skipped() {
+    for &seed in PINNED_DEPARTURE_SEEDS {
+        assert_departed_ops_are_skipped(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ops targeting a departed site are rejected/skipped — sampled seeds.
+    #[test]
+    fn ops_on_departed_sites_are_skipped(seed in 0u64..1_000_000) {
+        assert_departed_ops_are_skipped(seed);
+    }
+}
