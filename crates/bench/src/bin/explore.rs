@@ -11,13 +11,21 @@
 //! the partition matrix (scheduled split-and-heal windows), and runs with
 //! the zero-references-to-departed-sites oracle armed.
 //!
+//! `--trace` re-runs every failing triple's shrunk form with full
+//! observability on and prints its JSONL event timeline (schema
+//! `ggd-obs-trace/v1`) next to the reproducer — replay determinism makes
+//! the traced run the same run that failed. `--validate-traces` instead
+//! traces the first `--corpus` classic triples and schema-validates every
+//! timeline (the CI obs-smoke gate), running no differential checks.
+//!
 //! Exit code 0 when the corpus ran clean (violating triples: 0, and —
 //! under `--strict` — no divergences either); 1 otherwise, with every
 //! failing triple shrunk and printed as a paste-ready test snippet. In
 //! `--self-test` mode the expectation flips: the deliberately sabotaged
 //! causal collector *must* be caught, so a clean corpus exits 1.
 
-use ggd_explore::{explore, ExplorerConfig, RunMode};
+use ggd_explore::{corpus_triple, explore, trace_triple, ExplorerConfig, RunMode};
+use ggd_obs::validate_jsonl;
 
 fn parse_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -44,6 +52,8 @@ fn parse_corpus(args: &[String], name: &str) -> Option<u32> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let self_test = parse_flag(&args, "--self-test");
+    let trace = parse_flag(&args, "--trace");
+    let validate_traces = parse_flag(&args, "--validate-traces");
     let config = ExplorerConfig {
         corpus: parse_corpus(&args, "--corpus").unwrap_or(200),
         seed: parse_u64(&args, "--seed").unwrap_or(7),
@@ -57,6 +67,30 @@ fn main() {
         },
         ..ExplorerConfig::default()
     };
+
+    if validate_traces {
+        println!(
+            "## ggd-explore — trace-schema validation (corpus={}, seed={})",
+            config.corpus, config.seed
+        );
+        let mut event_lines = 0usize;
+        for index in 0..config.corpus {
+            let (_, triple) = corpus_triple(config.seed, index, &config.weights);
+            let timeline = trace_triple(&triple);
+            match validate_jsonl(&timeline) {
+                Ok(lines) => event_lines += lines,
+                Err(err) => {
+                    println!("triple #{index}: INVALID trace — {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "{} traces schema-valid ({event_lines} event/object lines)",
+            config.corpus
+        );
+        return;
+    }
 
     println!(
         "## ggd-explore — differential corpus (corpus={}, seed={}{}{}{}{})",
@@ -91,6 +125,13 @@ fn main() {
             println!("  - {f:?}");
         }
         println!("\n{}", failure.reproducer);
+        if trace {
+            let timeline = trace_triple(&failure.shrunk);
+            match validate_jsonl(&timeline) {
+                Ok(_) => println!("event timeline of the shrunk triple:\n{timeline}"),
+                Err(err) => println!("event timeline INVALID ({err}):\n{timeline}"),
+            }
+        }
     }
 
     if self_test {

@@ -82,6 +82,10 @@ fn main() {
             )
         );
     }
+    if wanted(&args, "e10") {
+        println!("## E10 — per-object detection latency (obs ledger, oracle on)");
+        println!("{}", bench::experiment_detection_latency());
+    }
     if wanted(&args, "baseline") {
         let entries = bench::baseline();
         let json = bench::baseline_json(&entries);

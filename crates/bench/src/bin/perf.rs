@@ -5,12 +5,20 @@
 //! cargo run --release -p ggd-bench --bin perf -- --smoke      # reduced CI matrix
 //! cargo run --release -p ggd-bench --bin perf -- --smoke --check BENCH_perf.json
 //! cargo run --release -p ggd-bench --bin perf -- --no-compare # skip the full-rescan baseline
+//! cargo run --release -p ggd-bench --bin perf -- --case churn_100k --no-compare
 //! ```
 //!
-//! `--check FILE` parses FILE against the `ggd-bench-perf/v3` schema and
+//! `--case SUBSTR` keeps only matrix cases whose name contains SUBSTR
+//! (e.g. to re-measure one case's observability overhead in isolation).
+//! `--obs-overhead` runs only the obs-off/obs-on sim delta pair of each
+//! obs-tagged case — the cheap way to re-measure the enabled-path cost.
+//!
+//! `--check FILE` parses FILE against the `ggd-bench-perf/v4` schema and
 //! fails (exit 1) when any fresh row is more than 2x slower than the
-//! committed row of the same `(name, transport, mode, workers)` — the CI
-//! regression gate. Every run also executes the recovery matrix (WAL
+//! committed row of the same `(name, transport, mode, workers, obs)`,
+//! when a row's `control_bytes` exceeds 1.5x its committed baseline, or
+//! when an observability-enabled row runs more than 1.5x its obs-off
+//! sibling — the CI regression gates. Every run also executes the recovery matrix (WAL
 //! append overhead + full-cluster replay, `mode: "wal"` / `"replay"`);
 //! `--recovery-only` runs just that group and writes
 //! `BENCH_perf_recovery.json`. On hosts with ≥ 2 CPUs, `--check` also
@@ -22,8 +30,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ggd_bench::perf::{
-    check_parallel_scaling, check_regression, check_speedup, perf_json, perf_matrix,
-    recovery_matrix, run_matrix, run_recovery_matrix, validate_perf_json,
+    check_control_bytes, check_obs_overhead, check_parallel_scaling, check_regression,
+    check_speedup, perf_json, perf_matrix, recovery_matrix, run_matrix, run_recovery_matrix,
+    validate_perf_json,
 };
 
 /// A [`System`]-backed allocator that counts allocations and bytes, so the
@@ -83,10 +92,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
     let recovery_only_flag = args.iter().any(|a| a == "--recovery-only");
+    let case_filter: Option<&str> = args
+        .iter()
+        .position(|a| a == "--case")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let obs_overhead_only = args.iter().any(|a| a == "--obs-overhead");
     let out_path = if recovery_only_flag {
         "BENCH_perf_recovery.json"
     } else if smoke {
         "BENCH_perf_smoke.json"
+    } else if case_filter.is_some() {
+        // A filtered run is a partial matrix: never clobber the committed
+        // full-matrix document with it.
+        "BENCH_perf_case.json"
     } else {
         "BENCH_perf.json"
     };
@@ -111,8 +130,24 @@ fn main() {
         );
     };
 
-    let cases = perf_matrix(smoke);
-    let recovery_cases = recovery_matrix(smoke);
+    let mut cases = perf_matrix(smoke);
+    let mut recovery_cases = recovery_matrix(smoke);
+    if let Some(filter) = case_filter {
+        cases.retain(|c| c.name.contains(filter));
+        recovery_cases.retain(|c| c.name.contains(filter));
+    }
+    if obs_overhead_only {
+        // Strip everything except the obs-off/obs-on sim delta pair, so
+        // repeated invocations measure the observability overhead without
+        // paying for the rest of the matrix.
+        cases.retain(|c| c.obs_row);
+        for case in &mut cases {
+            case.threaded = false;
+            case.compare = false;
+            case.workers = &[];
+        }
+        recovery_cases.clear();
+    }
     eprintln!(
         "perf suite: {} case(s) + {} recovery case(s), compare={compare}, smoke={smoke}{}",
         cases.len(),
@@ -168,6 +203,35 @@ fn main() {
             Err(err) => {
                 eprintln!("PERF REGRESSION vs {committed_path}: {err}");
                 std::process::exit(1);
+            }
+        }
+        // Wire-volume gate (schema v4): control bytes are deterministic on
+        // the sim transport, so the tolerance only absorbs the parallel
+        // rows' interleaving-dependent propagation. Skipped while the
+        // committed file predates the v4 columns.
+        if !recovery_only {
+            match check_control_bytes(&committed, &entries, 1.5) {
+                Ok(()) => eprintln!("control_bytes regression check: ok"),
+                Err(err) if err.starts_with("no fresh row") => {
+                    eprintln!("control_bytes check SKIPPED: {err}");
+                }
+                Err(err) => {
+                    eprintln!("PERF REGRESSION (control bytes): {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Observability overhead: the committed full matrix holds the
+        // tight ratio at the 100k scale (see EXPERIMENTS.md); smoke rows
+        // run tens of milliseconds, so CI only gates against gross
+        // blowups (1.5x) above the 20ms noise floor.
+        if !recovery_only {
+            match check_obs_overhead(&entries, 1.5, 20.0) {
+                Ok(()) => eprintln!("observability overhead check: ok"),
+                Err(err) => {
+                    eprintln!("PERF REGRESSION (obs overhead): {err}");
+                    std::process::exit(1);
+                }
             }
         }
         // The machine-independent gate: the delta pipeline must keep a

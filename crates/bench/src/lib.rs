@@ -271,6 +271,89 @@ pub fn experiment_parallel_scaling(workers: &[u32]) -> Vec<Row> {
     rows
 }
 
+/// E10 — per-object detection latency over the E-series workloads: each
+/// scenario runs sequentially with full observability and the safety
+/// oracle on, so the lifecycle ledger records `unreachable → detected`
+/// per object. Returns the rendered per-scenario means plus the merged
+/// fixed-bucket histogram (logical steps; see DESIGN.md §10).
+pub fn experiment_detection_latency() -> String {
+    let scenarios: Vec<(&str, Scenario, FaultPlan)> = vec![
+        (
+            "paper_example",
+            workloads::paper_example(),
+            FaultPlan::new(),
+        ),
+        (
+            "list_k8",
+            workloads::doubly_linked_list(8),
+            FaultPlan::new(),
+        ),
+        (
+            "exchanges_n8",
+            workloads::third_party_exchanges(8),
+            FaultPlan::new(),
+        ),
+        ("ring_k8", workloads::ring(8), FaultPlan::new()),
+        (
+            "island_8x3",
+            workloads::garbage_island(8, 3, 4),
+            FaultPlan::new(),
+        ),
+        // The delayed-detection case: a split-and-heal window holds the
+        // island's verdicts back until the partition heals, so the
+        // unreachable→detected latency is measured in scenario steps > 0.
+        (
+            "island_split",
+            workloads::garbage_island(8, 3, 4),
+            FaultPlan::new().with_split(4, 5, 40),
+        ),
+        (
+            "churn_8x400",
+            workloads::random_churn(8, 400, 21),
+            FaultPlan::new(),
+        ),
+    ];
+    let mut merged = ggd_obs::Histogram::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>12} {:>12}",
+        "scenario", "tracked", "detected", "mean_steps", "max_steps"
+    );
+    for (name, scenario, faults) in &scenarios {
+        let config = ClusterConfig {
+            obs: ggd_obs::ObsConfig::enabled(),
+            faults: faults.clone(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::from_scenario(scenario, config, CausalCollector::new);
+        cluster.run(scenario);
+        let report = cluster.obs_report();
+        let detection = report.detection_histogram();
+        let detected: u64 = report
+            .ledger()
+            .iter()
+            .filter(|(_, l)| l.detected.is_some())
+            .count() as u64;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>10} {:>12.1} {:>12}",
+            name,
+            report.ledger().len(),
+            detected,
+            detection.mean(),
+            detection.max,
+        );
+        merged.absorb(detection);
+    }
+    let _ = writeln!(
+        out,
+        "\nmerged unreachable→detected histogram (logical steps):\n{}",
+        merged.render()
+    );
+    out
+}
+
 /// One entry of the performance baseline (see [`baseline`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaselineEntry {

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use ggd_mutator::generator::{build_perf_scenario, PerfSpec};
 use ggd_mutator::{Scenario, Step};
+use ggd_obs::ObsConfig;
 use ggd_sim::{
     CausalCollector, Cluster, ClusterConfig, DurabilityConfig, ParallelCluster, RunReport, SyncMode,
 };
@@ -40,6 +41,10 @@ pub struct PerfCase {
     /// Worker counts for the parallel driver: one `transport: "parallel"`
     /// row per count (empty slice = sequential transports only).
     pub workers: &'static [u32],
+    /// Also run the sim delta pipeline with observability enabled and emit
+    /// an `"obs": 1` row, so the obs-on overhead is measured against the
+    /// obs-off row of the same key (schema v4).
+    pub obs_row: bool,
 }
 
 /// The scenario matrix. `smoke` selects the reduced CI matrix (16 sites /
@@ -54,6 +59,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
         threaded: true,
         compare: true,
         workers: &[1, 2],
+        obs_row: true,
     };
     if smoke {
         return vec![smoke_case];
@@ -67,6 +73,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             threaded: true,
             compare: true,
             workers: &[],
+            obs_row: false,
         },
         PerfCase {
             name: "island_hub_mix_20k",
@@ -81,6 +88,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             threaded: true,
             compare: true,
             workers: &[],
+            obs_row: false,
         },
         PerfCase {
             name: "wide_256_sites_50k",
@@ -89,6 +97,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             threaded: false,
             compare: true,
             workers: &[],
+            obs_row: true,
         },
         PerfCase {
             name: "churn_100k",
@@ -99,6 +108,7 @@ pub fn perf_matrix(smoke: bool) -> Vec<PerfCase> {
             // The scaling curve committed to BENCH_perf.json (see
             // EXPERIMENTS.md, "Parallel driver scaling").
             workers: &[1, 2, 4, 8],
+            obs_row: true,
         },
     ]
 }
@@ -145,8 +155,16 @@ pub struct PerfEntry {
     /// Worker threads, set on `transport: "parallel"` rows only (schema v3;
     /// absent on rows written by older suites).
     pub workers: Option<u32>,
-    /// Control-plane wire bytes actually sent (encoded frames; schema v3).
+    /// Control-plane wire bytes actually sent (encoded frames; schema v3
+    /// carried it on parallel rows only, schema v4 on every measured run).
     pub control_bytes: Option<u64>,
+    /// `control_bytes / reclaimed` — the wire cost of reclaiming one
+    /// object (schema v4; set when the run reclaimed anything).
+    pub bytes_per_reclaimed_object: Option<f64>,
+    /// True when the row ran with observability enabled (schema v4;
+    /// rendered as `"obs": 1` and absent on obs-off rows, keeping older
+    /// rows byte-identical).
+    pub obs: bool,
 }
 
 /// Counting-allocator probe: returns cumulative `(allocations, bytes)`.
@@ -212,22 +230,37 @@ fn entry_from(
         verdicts: report.verdicts,
         speedup_vs_full: None,
         workers: None,
-        control_bytes: None,
+        control_bytes: Some(report.net.control_bytes_sent()),
+        bytes_per_reclaimed_object: (report.reclaimed > 0)
+            .then(|| report.net.control_bytes_sent() as f64 / report.reclaimed as f64),
+        obs: false,
     }
 }
 
-/// Runs one case on the simulated transport under `mode`.
+/// Runs one case on the simulated transport under `mode`. With `obs_on`
+/// the full observability stack (registries, tracing, lifecycle ledger)
+/// records throughout the run and the row is tagged `"obs": 1`, so its
+/// wall clock measures the enabled-path overhead against the obs-off row.
 fn run_sim(
     case: &PerfCase,
     scenario: &Scenario,
     build_ms: f64,
     mode: SyncMode,
+    obs_on: bool,
     probe: AllocProbe<'_>,
 ) -> PerfEntry {
     let ops = op_count(scenario);
+    let config = ClusterConfig {
+        obs: if obs_on {
+            ObsConfig::enabled()
+        } else {
+            ObsConfig::default()
+        },
+        ..perf_config(mode)
+    };
     let (alloc_before, bytes_before) = probe();
     let start = Instant::now();
-    let mut cluster = Cluster::from_scenario(scenario, perf_config(mode), CausalCollector::new);
+    let mut cluster = Cluster::from_scenario(scenario, config, CausalCollector::new);
     let report = cluster.run(scenario);
     let run_ms = start.elapsed().as_secs_f64() * 1000.0;
     let (alloc_after, bytes_after) = probe();
@@ -235,7 +268,7 @@ fn run_sim(
         SyncMode::Incremental => "delta",
         SyncMode::FullRescan => "full",
     };
-    entry_from(
+    let mut entry = entry_from(
         case,
         "sim",
         label,
@@ -247,7 +280,9 @@ fn run_sim(
             alloc_bytes: bytes_after.saturating_sub(bytes_before),
         },
         &report,
-    )
+    );
+    entry.obs = obs_on;
+    entry
 }
 
 /// Runs one case on the threaded transport (delta pipeline).
@@ -318,7 +353,6 @@ fn run_parallel(
         &report,
     );
     entry.workers = Some(workers);
-    entry.control_bytes = Some(report.net.control_bytes_sent());
     entry
 }
 
@@ -337,9 +371,23 @@ pub fn run_matrix(
         let scenario = build_perf_scenario(&case.spec, case.seed);
         let build_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-        let mut delta = run_sim(case, &scenario, build_ms, SyncMode::Incremental, probe);
+        let mut delta = run_sim(
+            case,
+            &scenario,
+            build_ms,
+            SyncMode::Incremental,
+            false,
+            probe,
+        );
         if compare && case.compare {
-            let full = run_sim(case, &scenario, build_ms, SyncMode::FullRescan, probe);
+            let full = run_sim(
+                case,
+                &scenario,
+                build_ms,
+                SyncMode::FullRescan,
+                false,
+                probe,
+            );
             if delta.run_ms > 0.0 {
                 delta.speedup_vs_full = Some(full.run_ms / delta.run_ms);
             }
@@ -348,6 +396,19 @@ pub fn run_matrix(
         }
         progress(&delta);
         entries.push(delta);
+
+        if case.obs_row {
+            let obs = run_sim(
+                case,
+                &scenario,
+                build_ms,
+                SyncMode::Incremental,
+                true,
+                probe,
+            );
+            progress(&obs);
+            entries.push(obs);
+        }
 
         if case.threaded {
             let threaded = run_threaded(case, &scenario, build_ms, probe);
@@ -430,6 +491,7 @@ pub fn run_recovery_matrix(
             threaded: false,
             compare: false,
             workers: &[],
+            obs_row: false,
         };
 
         let config = ClusterConfig {
@@ -472,7 +534,7 @@ pub fn run_recovery_matrix(
             .store_stats()
             .records_replayed
             .saturating_sub(replayed_before);
-        let replay = entry_from(
+        let mut replay = entry_from(
             &perf_case,
             "sim",
             "replay",
@@ -485,6 +547,9 @@ pub fn run_recovery_matrix(
             },
             &report,
         );
+        // Replay sends nothing — the wire columns belong to the wal row.
+        replay.control_bytes = None;
+        replay.bytes_per_reclaimed_object = None;
         progress(&replay);
         entries.push(replay);
     }
@@ -492,11 +557,14 @@ pub fn run_recovery_matrix(
 }
 
 /// The `BENCH_perf.json` schema identifier. `v2` added the recovery rows
-/// (`mode: "wal"` / `mode: "replay"`); `v3` adds the parallel-driver rows
+/// (`mode: "wal"` / `mode: "replay"`); `v3` added the parallel-driver rows
 /// (`transport: "parallel"`) with the optional `workers` and
-/// `control_bytes` fields, emitted only on rows that carry them — v2 rows
-/// are carried over byte-identically.
-pub const PERF_SCHEMA: &str = "ggd-bench-perf/v3";
+/// `control_bytes` fields; `v4` extends `control_bytes` to every measured
+/// run and adds the optional `bytes_per_reclaimed_object` (wire cost per
+/// reclaimed object) and `obs` (`1` on observability-enabled rows)
+/// columns. All optional fields are emitted only on rows that carry them,
+/// so rows written by older suites remain byte-identical.
+pub const PERF_SCHEMA: &str = "ggd-bench-perf/v4";
 
 /// Renders entries as the `BENCH_perf.json` document.
 pub fn perf_json(entries: &[PerfEntry]) -> String {
@@ -506,15 +574,24 @@ pub fn perf_json(entries: &[PerfEntry]) -> String {
             Some(s) => format!("{s:.2}"),
             None => "null".to_owned(),
         };
-        // v3 optional fields are emitted only when present, keeping rows
-        // produced by older suites (and the carried-over v2 rows of the
-        // committed file) byte-identical.
+        // Optional fields are emitted only when present, keeping rows
+        // produced by older suites (and the carried-over v2/v3 rows of
+        // the committed file) byte-identical.
         let mut optional = String::new();
         if let Some(workers) = e.workers {
             let _ = write!(optional, ", \"workers\": {workers}");
         }
         if let Some(control_bytes) = e.control_bytes {
             let _ = write!(optional, ", \"control_bytes\": {control_bytes}");
+        }
+        if let Some(bytes_per_obj) = e.bytes_per_reclaimed_object {
+            let _ = write!(
+                optional,
+                ", \"bytes_per_reclaimed_object\": {bytes_per_obj:.1}"
+            );
+        }
+        if e.obs {
+            let _ = write!(optional, ", \"obs\": 1");
         }
         let _ = writeln!(
             out,
@@ -603,9 +680,14 @@ pub fn validate_perf_json(text: &str) -> Result<JsonValue, String> {
                 ))
             }
         }
-        // v3 optional fields: absent on rows carried over from older
+        // Optional fields (v3/v4): absent on rows carried over from older
         // suites, numeric when present.
-        for key in ["workers", "control_bytes"] {
+        for key in [
+            "workers",
+            "control_bytes",
+            "bytes_per_reclaimed_object",
+            "obs",
+        ] {
             match entry.get(key) {
                 None | Some(JsonValue::Number(_)) => {}
                 _ => {
@@ -647,6 +729,10 @@ pub fn check_regression(
                 // baselines; sequential rows carry no `workers` field.
                 && e.get("workers").and_then(JsonValue::as_u64)
                     == row.workers.map(u64::from)
+                // Obs-on rows only regress against obs-on baselines — an
+                // obs-off committed row is the wrong yardstick for the
+                // instrumented run (and vice versa).
+                && (e.get("obs").and_then(JsonValue::as_u64) == Some(1)) == row.obs
         });
         let Some(baseline) = baseline else {
             continue; // new row: nothing to regress against
@@ -668,6 +754,109 @@ pub fn check_regression(
     }
     if compared == 0 {
         return Err("no fresh row matched any committed row".to_owned());
+    }
+    Ok(())
+}
+
+/// Regression gate on the wire-volume columns: every fresh row whose
+/// committed counterpart carries `control_bytes` must not exceed `factor`×
+/// the committed volume. Unlike wall clock, control bytes on the sim
+/// transport are deterministic, so this catches protocol-bloat regressions
+/// that a 2× wall-clock gate would wave through.
+///
+/// # Errors
+///
+/// Returns a description of the first blown-up row, or of a run where no
+/// row could be compared at all.
+pub fn check_control_bytes(
+    committed: &JsonValue,
+    fresh: &[PerfEntry],
+    factor: f64,
+) -> Result<(), String> {
+    let entries = committed
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("committed file has no entries")?;
+    let mut compared = 0;
+    for row in fresh {
+        let Some(fresh_bytes) = row.control_bytes else {
+            continue;
+        };
+        let committed_bytes = entries.iter().find_map(|e| {
+            (e.get("name").and_then(JsonValue::as_str) == Some(row.name.as_str())
+                && e.get("transport").and_then(JsonValue::as_str) == Some(row.transport.as_str())
+                && e.get("mode").and_then(JsonValue::as_str) == Some(row.mode.as_str())
+                && e.get("workers").and_then(JsonValue::as_u64) == row.workers.map(u64::from)
+                && (e.get("obs").and_then(JsonValue::as_u64) == Some(1)) == row.obs)
+                .then(|| e.get("control_bytes").and_then(JsonValue::as_u64))
+                .flatten()
+        });
+        let Some(committed_bytes) = committed_bytes else {
+            continue; // row predates v4 (or is new): nothing to gate
+        };
+        compared += 1;
+        if fresh_bytes as f64 > committed_bytes as f64 * factor {
+            return Err(format!(
+                "{}/{}/{}: control_bytes {fresh_bytes} exceeds {factor}x the committed \
+                 {committed_bytes}",
+                row.name, row.transport, row.mode
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no fresh row had a committed control_bytes baseline".to_owned());
+    }
+    Ok(())
+}
+
+/// The observability overhead gate: for every `"obs": 1` row, the obs-off
+/// row of the same `(name, transport, mode, workers)` must exist in the
+/// same run, and the instrumented run must not be more than `max_ratio`×
+/// slower. Pairs whose obs-off run is under `floor_ms` are exempt from the
+/// ratio (sub-floor runs are scheduling noise) but still count as paired.
+/// The committed full matrix holds the tight ratio measured at the
+/// 100k-object scale; CI calls this with a looser ratio because smoke rows
+/// run tens of milliseconds.
+///
+/// # Errors
+///
+/// Returns a description of the first blown pair, of an obs row with no
+/// obs-off sibling, or of a run with no obs row at all.
+pub fn check_obs_overhead(
+    entries: &[PerfEntry],
+    max_ratio: f64,
+    floor_ms: f64,
+) -> Result<(), String> {
+    let mut paired = 0;
+    for on in entries.iter().filter(|e| e.obs) {
+        let off = entries.iter().find(|e| {
+            !e.obs
+                && e.name == on.name
+                && e.transport == on.transport
+                && e.mode == on.mode
+                && e.workers == on.workers
+        });
+        let Some(off) = off else {
+            return Err(format!(
+                "{}/{}/{}: obs row has no obs-off sibling to compare against",
+                on.name, on.transport, on.mode
+            ));
+        };
+        paired += 1;
+        if off.run_ms < floor_ms || off.run_ms <= 0.0 {
+            continue;
+        }
+        let ratio = on.run_ms / off.run_ms;
+        if ratio > max_ratio {
+            return Err(format!(
+                "{}/{}/{}: obs-enabled run is {ratio:.3}x the obs-off run \
+                 ({:.1}ms vs {:.1}ms), above the {max_ratio}x gate",
+                on.name, on.transport, on.mode, on.run_ms, off.run_ms
+            ));
+        }
+    }
+    if paired == 0 {
+        return Err("no row ran with observability enabled".to_owned());
     }
     Ok(())
 }
@@ -761,6 +950,7 @@ mod tests {
                 c.spec = PerfSpec::mix(8, 400, 200);
                 c.threaded = false;
                 c.workers = &[];
+                c.obs_row = false;
                 c
             })
             .collect();
@@ -803,6 +993,7 @@ mod tests {
             threaded: false,
             compare: false,
             workers: &[1, 2],
+            obs_row: false,
         }];
         let entries = run_matrix(&cases, false, &probe, |_| {});
         assert_eq!(entries.len(), 3, "delta + two parallel rows");
@@ -828,12 +1019,15 @@ mod tests {
         let text = perf_json(&entries);
         assert!(text.contains("\"workers\": 1") && text.contains("\"workers\": 2"));
         assert!(text.contains("\"control_bytes\": "));
-        // The sequential row keeps the pre-v3 shape byte-for-byte.
+        // Sequential rows carry the v4 wire columns but never `workers`
+        // or the obs tag.
         let delta_line = text
             .lines()
             .find(|l| l.contains("\"transport\": \"sim\""))
             .unwrap();
-        assert!(!delta_line.contains("workers") && !delta_line.contains("control_bytes"));
+        assert!(!delta_line.contains("workers") && !delta_line.contains("\"obs\""));
+        assert!(delta_line.contains("control_bytes"));
+        assert!(delta_line.contains("bytes_per_reclaimed_object"));
         let doc = validate_perf_json(&text).expect("schema-valid");
         check_regression(&doc, &entries, 2.0, 0.0).expect("identical rows cannot regress");
 
@@ -859,6 +1053,7 @@ mod tests {
             threaded: false,
             compare: false,
             workers: &[1, 2],
+            obs_row: false,
         }];
         let entries = run_matrix(&cases, false, &probe, |_| {});
         let doc = validate_perf_json(&perf_json(&entries)).unwrap();
@@ -871,6 +1066,72 @@ mod tests {
             .expect("2-worker row");
         two.run_ms = two.run_ms * 100.0 + 1000.0;
         assert!(check_regression(&doc, &slow, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn obs_rows_pair_with_their_off_siblings_and_gate_overhead() {
+        let cases = vec![PerfCase {
+            name: "smoke_churn_2k",
+            spec: PerfSpec::mix(8, 400, 200),
+            seed: 7,
+            threaded: false,
+            compare: false,
+            workers: &[],
+            obs_row: true,
+        }];
+        let entries = run_matrix(&cases, false, &probe, |_| {});
+        assert_eq!(entries.len(), 2, "obs-off delta + obs-on delta");
+        let on = entries.iter().find(|e| e.obs).expect("obs row");
+        let off = entries.iter().find(|e| !e.obs).expect("obs-off row");
+        // The instrumented run must not change the experiment's outcome.
+        assert_eq!(on.reclaimed, off.reclaimed);
+        assert_eq!(on.verdicts, off.verdicts);
+        assert_eq!(on.control_msgs, off.control_msgs);
+        assert_eq!(on.control_bytes, off.control_bytes);
+
+        let text = perf_json(&entries);
+        let obs_line = text.lines().find(|l| l.contains("\"obs\": 1")).unwrap();
+        assert!(obs_line.contains("control_bytes"));
+        validate_perf_json(&text).expect("schema-valid");
+
+        // Gate mechanics: identical-ish rows pass any sane ratio; an
+        // absurd floor-free gate trips; a lone obs row is an error.
+        check_obs_overhead(&entries, 1e9, 0.0).expect("pair present");
+        let mut slow = entries.clone();
+        slow.iter_mut().find(|e| e.obs).unwrap().run_ms = 1e9;
+        assert!(check_obs_overhead(&slow, 1.02, 0.0).is_err());
+        let lone: Vec<PerfEntry> = entries.iter().filter(|e| e.obs).cloned().collect();
+        assert!(check_obs_overhead(&lone, 1.5, 0.0).is_err());
+        let none: Vec<PerfEntry> = entries.iter().filter(|e| !e.obs).cloned().collect();
+        assert!(check_obs_overhead(&none, 1.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn control_bytes_regress_against_committed_v4_rows() {
+        let cases = vec![PerfCase {
+            name: "smoke_churn_2k",
+            spec: PerfSpec::mix(8, 400, 200),
+            seed: 7,
+            threaded: false,
+            compare: false,
+            workers: &[],
+            obs_row: false,
+        }];
+        let entries = run_matrix(&cases, false, &probe, |_| {});
+        let doc = validate_perf_json(&perf_json(&entries)).unwrap();
+        check_control_bytes(&doc, &entries, 1.0).expect("identical rows cannot regress");
+        let mut bloated = entries.clone();
+        bloated[0].control_bytes = bloated[0].control_bytes.map(|b| b * 10 + 1);
+        assert!(check_control_bytes(&doc, &bloated, 1.5).is_err());
+        // Rows without a committed baseline (pre-v4 files) are skipped,
+        // and skipping everything is reported as such.
+        let mut unbaselined = entries.clone();
+        for row in &mut unbaselined {
+            row.name = "brand_new_case".to_owned();
+        }
+        assert!(check_control_bytes(&doc, &unbaselined, 1.5)
+            .unwrap_err()
+            .starts_with("no fresh row"));
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct EngineStats {
     pub messages_received: u64,
     /// Garbage verdicts produced.
     pub verdicts: u64,
+    /// DkLog compaction passes run (the checkpoint path runs one per
+    /// checkpoint).
+    pub compaction_runs: u64,
+    /// DkLog rows dropped by compaction, cumulative.
+    pub compaction_rows_dropped: u64,
 }
 
 impl fmt::Display for EngineStats {
@@ -320,6 +325,8 @@ impl CausalEngine {
         if !dead.is_empty() {
             self.last_closure.retain(|vertex, _| !dead.contains(vertex));
         }
+        self.stats.compaction_runs += 1;
+        self.stats.compaction_rows_dropped += dropped as u64;
         dropped
     }
 

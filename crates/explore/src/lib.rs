@@ -54,6 +54,6 @@ pub use explorer::{
     ExplorerConfig, FailedTriple,
 };
 pub use repro::reproducer;
-pub use runner::{run_triple, CheckFailure, RunMode, Triple, TripleOutcome};
+pub use runner::{run_triple, trace_triple, CheckFailure, RunMode, Triple, TripleOutcome};
 pub use saboteur::SaboteurCollector;
 pub use shrink::{sanitize, shrink};

@@ -190,6 +190,22 @@ fn departed_ref_failures<C: Collector>(cluster: &Cluster<C>, collector: &str) ->
         .collect()
 }
 
+/// Re-runs a triple's causal-collector run with full observability on and
+/// returns the full-view JSONL event timeline (versioned header, events,
+/// object-lifecycle lines). Used by the explorer's `--trace` mode to dump
+/// the timeline of a failing triple next to its shrunk reproducer, and by
+/// the CI obs-smoke job to schema-validate traces over a whole corpus.
+/// Replay determinism makes the traced run the *same* run that failed —
+/// observability is off-path and never perturbs the schedule.
+pub fn trace_triple(triple: &Triple) -> String {
+    let config = ClusterConfig {
+        obs: ggd_obs::ObsConfig::enabled(),
+        ..triple.config()
+    };
+    let (_, cluster) = Cluster::run_seeded(&triple.scenario, config, CausalCollector::new);
+    cluster.obs_report().trace_jsonl(ggd_obs::TraceView::Full)
+}
+
 /// Runs one triple through every collector and applies the differential
 /// checks. When any check fails, the failing collectors are re-run once and
 /// the two reports compared, asserting replay determinism.

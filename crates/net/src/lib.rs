@@ -61,7 +61,7 @@ pub use fault::{
 };
 pub use frame::{read_varint, write_varint, Frame, FrameError, WireCodec};
 pub use message::{Delivery, Envelope, MessageClass, MessageId, Payload};
-pub use metrics::{MetricKey, NetMetrics};
+pub use metrics::{BucketRow, MetricKey, NetMetrics};
 pub use sim::{SimNetwork, SimNetworkConfig};
 pub use threaded::{
     SendError, ThreadedEndpoint, ThreadedNetwork, ThreadedReceiver, ThreadedSender,

@@ -37,6 +37,24 @@ struct Bucket {
     bytes_sent: u64,
 }
 
+/// One row of [`NetMetrics::bucket_rows`]: the per-`(class, label)`
+/// counters, read-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketRow {
+    /// The bucket's class + payload label.
+    pub key: MetricKey,
+    /// Messages accepted for sending.
+    pub sent: u64,
+    /// Messages delivered (fault-injected duplicates not included).
+    pub delivered: u64,
+    /// Messages dropped by fault injection.
+    pub dropped: u64,
+    /// Duplicate deliveries injected.
+    pub duplicated: u64,
+    /// Bytes accepted for sending.
+    pub bytes_sent: u64,
+}
+
 /// Aggregated network metrics.
 ///
 /// # Example
@@ -95,6 +113,28 @@ impl NetMetrics {
     /// Records a fault-injected duplicate delivery.
     pub fn record_duplicated(&mut self, class: MessageClass, label: &str) {
         self.bucket(class, label).duplicated += 1;
+    }
+
+    /// Frame-layer send accounting: every byte-level transport (the threaded
+    /// network and the parallel driver's worker mesh) reports sends through
+    /// this single hook so `control_bytes_sent` / `mutator_bytes_sent`
+    /// cannot drift between encode paths. Returns the frame's wire length
+    /// for the caller's queue accounting.
+    pub fn record_frame_sent(&mut self, frame: &crate::Frame) -> usize {
+        let len = frame.wire_len();
+        self.record_sent(frame.class(), frame.label(), len);
+        len
+    }
+
+    /// Frame-layer delivery accounting; see [`NetMetrics::record_frame_sent`].
+    pub fn record_frame_delivered(&mut self, frame: &crate::Frame) {
+        self.record_delivered(frame.class(), frame.label());
+    }
+
+    /// Frame-layer drop accounting (crashed or departed destination); see
+    /// [`NetMetrics::record_frame_sent`].
+    pub fn record_frame_dropped(&mut self, frame: &crate::Frame) {
+        self.record_dropped(frame.class(), frame.label());
     }
 
     /// Notes `bytes` entering a transport queue, updating the high-water
@@ -184,6 +224,22 @@ impl NetMetrics {
     /// Mutator (application) bytes sent.
     pub fn mutator_bytes_sent(&self) -> u64 {
         self.bytes_in_class(MessageClass::Mutator)
+    }
+
+    /// Per-bucket snapshot in canonical `(class, label)` order — the
+    /// observability layer renders one `msg-class` trace event per row.
+    pub fn bucket_rows(&self) -> Vec<BucketRow> {
+        self.buckets
+            .iter()
+            .map(|(key, b)| BucketRow {
+                key: key.clone(),
+                sent: b.sent,
+                delivered: b.delivered,
+                dropped: b.dropped,
+                duplicated: b.duplicated,
+                bytes_sent: b.bytes_sent,
+            })
+            .collect()
     }
 
     /// Raises the queue high-water mark to at least `peak`. Transports that

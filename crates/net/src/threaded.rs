@@ -293,7 +293,7 @@ impl<P: WireCodec + 'static> ThreadedNetwork<P> {
                         // queue: record the channel-level delivery and
                         // release the queued wire bytes.
                         let mut m = relay_metrics.lock();
-                        m.record_delivered(env.frame.class(), env.frame.label());
+                        m.record_frame_delivered(&env.frame);
                         m.note_dequeued(env.frame.wire_len());
                     }
                     if forward.send(env).is_err() {
@@ -377,9 +377,7 @@ impl<P: WireCodec + 'static> ThreadedNetwork<P> {
             // The relay already recorded the channel-level delivery and
             // dequeue when it pulled the frame; only the terminal drop is
             // added here.
-            self.metrics
-                .lock()
-                .record_dropped(env.frame.class(), env.frame.label());
+            self.metrics.lock().record_frame_dropped(&env.frame);
             return None;
         }
         Some(self.delivery(env))
@@ -418,9 +416,11 @@ impl<P: WireCodec + 'static> Transport<P> for ThreadedNetwork<P> {
         };
         let frame = Frame::encode(&payload);
         {
+            // The shared frame-layer hook keeps byte accounting identical
+            // with the parallel driver's encode path.
             let mut metrics = self.metrics.lock();
-            metrics.record_sent(frame.class(), frame.label(), frame.wire_len());
-            metrics.note_enqueued(frame.wire_len());
+            let wire_len = metrics.record_frame_sent(&frame);
+            metrics.note_enqueued(wire_len);
         }
         if sender.send(FrameEnvelope { from, to, frame }).is_ok() {
             self.in_flight += 1;

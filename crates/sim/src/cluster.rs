@@ -13,6 +13,7 @@ use std::fmt;
 use ggd_heap::SiteHeap;
 use ggd_mutator::{MembershipEvent, MembershipKind, MutatorOp, ObjName, Scenario, Step};
 use ggd_net::{FaultPlan, SimNetwork, SimNetworkConfig, ThreadedNetwork, Transport};
+use ggd_obs::{ObsConfig, ObsReport, SiteObs};
 use ggd_store::{
     DurabilityConfig, MembershipAnnouncement, MembershipChange, SiteStore, StoreStats,
 };
@@ -59,6 +60,10 @@ pub struct ClusterConfig {
     /// path is bit-for-bit unaffected. `ParallelCluster` requires ≥ 1 and
     /// hosts the sites sharded across that many workers.
     pub workers: u32,
+    /// Observability (`ggd-obs`): per-site metrics, structured trace events
+    /// and the object-lifecycle ledger. Off by default — every probe is a
+    /// no-op then, so the measured paths are unchanged.
+    pub obs: ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -72,7 +77,18 @@ impl Default for ClusterConfig {
             safety_oracle: true,
             durability: DurabilityConfig::off(),
             workers: 0,
+            obs: ObsConfig::default(),
         }
+    }
+}
+
+/// Stable numeric code for a membership change in trace-event fields
+/// (events carry `u64` fields only). Shared by both drivers.
+pub(crate) fn membership_kind_code(kind: MembershipChange) -> u64 {
+    match kind {
+        MembershipChange::Join => 0,
+        MembershipChange::PlannedLeave => 1,
+        MembershipChange::Evict => 2,
     }
 }
 
@@ -136,6 +152,15 @@ where
     verdicts: u64,
     triggered_at: Option<u64>,
     last_verdict_at: Option<u64>,
+    /// The logical step clock: counts scenario steps during
+    /// [`Cluster::run`]. Both drivers count the same steps, so timestamps
+    /// derived from it (unlike transport-clock ones) compare across drivers.
+    step: u64,
+    triggered_step: Option<u64>,
+    last_verdict_step: Option<u64>,
+    /// Cluster-scope observability handle (disabled unless
+    /// [`ClusterConfig::obs`] turns it on).
+    obs: SiteObs,
 }
 
 /// A site that is currently crashed: its durable medium, its scheduled
@@ -155,6 +180,11 @@ struct DownedSite<M> {
     /// was down across a planned leave still performs its reference
     /// handoff before anyone can observe it.
     pending_catchup: Vec<Catchup>,
+    /// The site's observability handle, carried across the crash: the
+    /// measurement layer sits outside the failure model, so measurements
+    /// survive and are re-attached after recovery (replay does not
+    /// double-count — the recovered runtime replays with a disabled handle).
+    obs: SiteObs,
 }
 
 /// One membership protocol step deferred for a crashed site, replayed in
@@ -345,12 +375,14 @@ where
         let mut runtimes = BTreeMap::new();
         for i in 0..sites {
             let site = SiteId::new(i);
-            let mut runtime = SiteRuntime::with_mode(site, factory(site), config.sync_mode);
+            let mut runtime = SiteRuntime::with_mode(site, factory(site), config.sync_mode)
+                .with_obs(SiteObs::new(Some(site), &config.obs));
             if let Some(store) = SiteStore::open(site, &config.durability) {
                 runtime = runtime.with_store(store);
             }
             runtimes.insert(site, runtime);
         }
+        let obs = SiteObs::new(None, &config.obs);
         let crashes_applied = vec![false; config.faults.crashes().len()];
         let legality = if config.faults.crashes().is_empty() {
             None
@@ -377,6 +409,10 @@ where
             verdicts: 0,
             triggered_at: None,
             last_verdict_at: None,
+            step: 0,
+            triggered_step: None,
+            last_verdict_step: None,
+            obs,
         }
     }
 
@@ -431,13 +467,24 @@ where
             self.legality = Some(Legality::default());
         }
         for step in scenario.steps() {
+            // Advance the logical step clock *before* executing: the first
+            // scenario step is step 1. The parallel driver counts the same
+            // steps, so step-stamped timestamps compare across drivers.
+            self.step += 1;
+            self.obs.set_step(self.step);
             match step {
                 Step::Op(op) => self.execute(*op),
                 Step::Settle => self.settle(),
                 Step::Membership(ev) => self.execute_membership(*ev),
             }
+            self.mark_garbage_unreachable();
         }
+        // The end-of-run completion (final settle + forced recoveries)
+        // counts as one more step.
+        self.step += 1;
+        self.obs.set_step(self.step);
         self.settle();
+        self.mark_garbage_unreachable();
         if !self.downed.is_empty() {
             self.recover_all_downed();
             self.settle();
@@ -603,7 +650,8 @@ where
                     return;
                 }
                 let mut runtime =
-                    SiteRuntime::with_mode(site, (self.factory)(site), self.config.sync_mode);
+                    SiteRuntime::with_mode(site, (self.factory)(site), self.config.sync_mode)
+                        .with_obs(SiteObs::new(Some(site), &self.config.obs));
                 if let Some(store) = SiteStore::open(site, &self.config.durability) {
                     runtime = runtime.with_store(store);
                 }
@@ -631,6 +679,11 @@ where
                     self.recover_site(site);
                 }
                 self.settle();
+                self.obs.event(
+                    "handoff",
+                    true,
+                    &[("epoch", ev.epoch), ("departing", u64::from(site.index()))],
+                );
                 let survivors: Vec<SiteId> =
                     self.sites.keys().copied().filter(|&s| s != site).collect();
                 for s in survivors {
@@ -680,6 +733,15 @@ where
     /// announcement lands in each WAL), and queues it for sites currently
     /// down — they apply it right after recovery.
     fn announce(&mut self, ann: MembershipAnnouncement) {
+        self.obs.event(
+            "membership",
+            true,
+            &[
+                ("epoch", ann.epoch),
+                ("site", u64::from(ann.site.index())),
+                ("kind", membership_kind_code(ann.kind)),
+            ],
+        );
         self.membership_log.push(ann);
         let ups: Vec<SiteId> = self.sites.keys().copied().collect();
         for s in ups {
@@ -735,11 +797,15 @@ where
     /// rounds, until the whole system is quiescent (or the settle-round
     /// safety valve trips).
     pub fn settle(&mut self) {
+        let mut rounds: u64 = 0;
+        let mut delivered: u64 = 0;
         for _ in 0..self.config.settle_rounds() {
+            rounds += 1;
             let mut progressed = false;
             self.process_crash_lifecycle();
             while let Some(delivery) = self.net.poll() {
                 progressed = true;
+                delivered += 1;
                 // The transport clock advanced: crash windows may have
                 // opened or closed.
                 self.process_crash_lifecycle();
@@ -765,6 +831,32 @@ where
                 break;
             }
         }
+        // Round/delivery counts are schedule-shaped (the parallel driver
+        // settles in drain waves), hence a non-deterministic event.
+        self.obs.event(
+            "settle",
+            false,
+            &[("rounds", rounds), ("delivered", delivered)],
+        );
+    }
+
+    /// Stamps the first step at which each currently-garbage object was
+    /// observed unreachable (first sighting wins in the ledger). Runs after
+    /// every scenario step, but only with observability *and* the safety
+    /// oracle on — a global reachability pass per step is exactly the cost
+    /// the oracle flag already opts into.
+    fn mark_garbage_unreachable(&mut self) {
+        if !(self.obs.is_enabled() && self.config.safety_oracle) {
+            return;
+        }
+        let step = self.step;
+        for addr in Oracle::garbage(self.heaps()) {
+            if let Some(runtime) = self.sites.get_mut(&addr.site()) {
+                let obs = runtime.obs_mut();
+                obs.set_step(step);
+                obs.mark_unreachable(addr);
+            }
+        }
     }
 
     /// Runs a local collection on one site, checking every freed object
@@ -778,7 +870,21 @@ where
         } else {
             None
         };
-        let runtime = self.sites.get_mut(&site).expect("site exists");
+        if self.obs.is_enabled() && self.config.safety_oracle {
+            // The lifecycle ledger learns when objects *became* unreachable
+            // from the same oracle pass that polices safety. Opt-in cost:
+            // only with observability on top of the oracle.
+            let step = self.step;
+            let garbage = Oracle::garbage(self.heaps());
+            for addr in garbage {
+                if let Some(runtime) = self.sites.get_mut(&addr.site()) {
+                    let obs = runtime.obs_mut();
+                    obs.set_step(step);
+                    obs.mark_unreachable(addr);
+                }
+            }
+        }
+        let runtime = self.site_mut(site);
         let outcome = runtime.collect();
         let tick = if outcome.is_noop() {
             None
@@ -830,8 +936,67 @@ where
             finished_at: self.net.now(),
             last_verdict_at: self.last_verdict_at,
             triggered_at: self.triggered_at,
+            triggered_step: self.triggered_step,
+            last_verdict_step: self.last_verdict_step,
             net: self.net.metrics_snapshot(),
         }
+    }
+
+    /// Assembles the observability report: the cluster scope (network and
+    /// durable-store aggregates as auxiliary gauges), then every site scope
+    /// (collector and heap counters as auxiliary gauges on top of whatever
+    /// the probes recorded). Empty/disabled when [`ClusterConfig::obs`] is
+    /// off.
+    pub fn obs_report(&self) -> ObsReport {
+        let mut cluster_obs = self.obs.clone();
+        if cluster_obs.is_enabled() {
+            let net = self.net.metrics_snapshot();
+            cluster_obs.set_gauge_aux("net_control_messages_sent", net.control_messages_sent());
+            cluster_obs.set_gauge_aux("net_mutator_messages_sent", net.mutator_messages_sent());
+            cluster_obs.set_gauge_aux("net_control_bytes_sent", net.control_bytes_sent());
+            cluster_obs.set_gauge_aux("net_mutator_bytes_sent", net.mutator_bytes_sent());
+            // One event per (class, payload-label) bucket: the per-collector
+            // message-class breakdown. Volumes are transport-shaped (the
+            // parallel driver only frames cross-worker traffic), hence aux.
+            for row in net.bucket_rows() {
+                cluster_obs.event_labeled(
+                    "msg-class",
+                    row.key.to_string(),
+                    false,
+                    &[
+                        ("sent", row.sent),
+                        ("delivered", row.delivered),
+                        ("dropped", row.dropped),
+                        ("bytes", row.bytes_sent),
+                    ],
+                );
+            }
+            let stats = self.store_stats();
+            cluster_obs.set_gauge_aux("store_records_appended", stats.records_appended);
+            cluster_obs.set_gauge_aux("store_wal_bytes_appended", stats.wal_bytes_appended);
+            cluster_obs.set_gauge_aux("store_checkpoints_installed", stats.checkpoints_installed);
+            cluster_obs.set_gauge_aux("store_records_replayed", stats.records_replayed);
+            cluster_obs.set_gauge_aux("recoveries", self.recoveries);
+        }
+        let site_obs: Vec<SiteObs> = self
+            .sites
+            .values()
+            .map(|runtime| {
+                let mut obs = runtime.obs().clone();
+                if obs.is_enabled() {
+                    for (name, value) in runtime.collector().obs_counters() {
+                        obs.set_gauge_aux(name, value);
+                    }
+                    let heap = runtime.heap().stats();
+                    obs.set_gauge_aux("heap_allocated", heap.allocated);
+                    obs.set_gauge_aux("heap_collected", heap.collected);
+                    obs.set_gauge_aux("heap_collections", heap.collections);
+                }
+                obs
+            })
+            .chain(self.downed.values().map(|d| d.obs.clone()))
+            .collect();
+        ObsReport::assemble(&cluster_obs, site_obs.iter())
     }
 
     /// The transport's current clock value.
@@ -913,6 +1078,7 @@ where
                 .take_store()
                 .expect("crash faults require durability (checked at construction)");
             let heap = runtime.heap().clone();
+            let obs = runtime.take_obs();
             self.downed.insert(
                 site,
                 DownedSite {
@@ -920,6 +1086,7 @@ where
                     restart_after,
                     heap,
                     pending_catchup: Vec::new(),
+                    obs,
                 },
             );
         } else if let Some(downed) = self.downed.get_mut(&site) {
@@ -932,8 +1099,20 @@ where
         let Some(downed) = self.downed.remove(&site) else {
             return;
         };
-        let runtime =
+        let mut runtime =
             SiteRuntime::recover(downed.store, (self.factory)(site), self.config.sync_mode);
+        let replayed = runtime
+            .store()
+            .map_or(0, |store| store.stats().records_replayed);
+        // Recovery replays with a disabled handle (no double-counting);
+        // re-attach the crash-time measurements now.
+        runtime.set_obs(downed.obs);
+        {
+            let obs = runtime.obs_mut();
+            obs.set_step(self.step);
+            obs.add_aux("recoveries", 1);
+            obs.event("wal-replay", false, &[("records_replayed", replayed)]);
+        }
         self.sites.insert(site, runtime);
         self.recoveries += 1;
         // Membership changed while this site was down: catch up in order
@@ -981,7 +1160,12 @@ where
     }
 
     fn site_mut(&mut self, site: SiteId) -> &mut SiteRuntime<C> {
-        self.sites.get_mut(&site).expect("site exists")
+        let step = self.step;
+        let runtime = self.sites.get_mut(&site).expect("site exists");
+        // Keep the runtime's logical clock current so every probe inside
+        // the entry point stamps the right step — no signature changes.
+        runtime.obs_mut().set_step(step);
+        runtime
     }
 
     /// Books a runtime step's results: verdict counters and control-message
@@ -990,10 +1174,12 @@ where
         if tick.verdicts_applied > 0 {
             self.verdicts += tick.verdicts_applied;
             self.last_verdict_at = Some(self.net.now());
+            self.last_verdict_step = Some(self.step);
         }
         for (dest, msg) in tick.outgoing {
             if self.triggered_at.is_none() {
                 self.triggered_at = Some(self.net.now());
+                self.triggered_step = Some(self.step);
             }
             self.net.send(site, dest, SimPayload::Control(msg));
         }

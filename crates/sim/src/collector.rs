@@ -98,6 +98,16 @@ pub trait Collector {
         false
     }
 
+    /// Observability counters this collector exports, as `(name, value)`
+    /// pairs — absorbed into the per-site metrics registry at report time
+    /// (`ggd-obs`). Names must be static and values cumulative. The default
+    /// exports nothing; engines with internal bookkeeping (the causal
+    /// engine's [`EngineStats`](ggd_causal::EngineStats), its DkLog
+    /// compaction counters) surface it here.
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// An incoming control message from another site's engine.
     fn on_message(&mut self, from: SiteId, message: Self::Msg);
 
@@ -214,6 +224,21 @@ impl Collector for CausalCollector {
 
     fn take_verdicts(&mut self) -> Vec<GlobalAddr> {
         self.engine.take_verdicts()
+    }
+
+    fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        let stats = self.engine.stats();
+        vec![
+            ("engine_edge_creations", stats.edge_creations),
+            ("engine_edge_destructions", stats.edge_destructions),
+            ("engine_lazy_records", stats.lazy_records),
+            ("engine_destructions_sent", stats.destructions_sent),
+            ("engine_propagations_sent", stats.propagations_sent),
+            ("engine_messages_received", stats.messages_received),
+            ("engine_verdicts", stats.verdicts),
+            ("dk_compaction_runs", stats.compaction_runs),
+            ("dk_rows_compacted", stats.compaction_rows_dropped),
+        ]
     }
 }
 

@@ -52,12 +52,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use ggd_heap::SiteHeap;
 use ggd_mutator::{MembershipEvent, MembershipKind, MutatorOp, ObjName, Scenario, Step};
 use ggd_net::{Frame, NetMetrics};
+use ggd_obs::{ObsConfig, ObsReport, SiteObs};
 use ggd_store::{
     DurabilityConfig, MembershipAnnouncement, MembershipChange, SiteStore, StoreStats,
 };
 use ggd_types::{GlobalAddr, ObjectId, SiteId};
 
-use crate::cluster::{Catchup, ClusterConfig, Legality};
+use crate::cluster::{membership_kind_code, Catchup, ClusterConfig, Legality};
 use crate::collector::{Collector, SimPayload};
 use crate::oracle::Oracle;
 use crate::report::RunReport;
@@ -76,6 +77,9 @@ struct SharedState {
     /// before the mailbox send, lowered after the handler *and its
     /// descendant sends* complete).
     in_flight: AtomicU64,
+    /// High-water mark of `in_flight` — how deep the termination barrier's
+    /// credit pool ever got. Reported on the settle trace event.
+    credit_hwm: AtomicU64,
     /// Total frames ever enqueued — settle rounds diff this to detect
     /// collect phases that emitted traffic.
     frames_sent: AtomicU64,
@@ -90,12 +94,23 @@ struct SharedState {
     triggered_at: AtomicU64,
     /// Clock value of the latest verdict application.
     last_verdict_at: AtomicU64,
+    /// Logical *scenario step* of the first control-message send;
+    /// `u64::MAX` = never. Steps execute in dispatch order, so the minimum
+    /// over all sends is the step of the first-triggering op — the same
+    /// value the sequential driver records.
+    triggered_step: AtomicU64,
+    /// Logical scenario step of the latest verdict application.
+    last_verdict_step: AtomicU64,
 }
 
-/// One command in a worker's mailbox.
+/// One command in a worker's mailbox. Commands that trigger runtime entry
+/// points carry the coordinator's logical scenario step, so worker-side
+/// probes stamp the same driver-independent timestamps the sequential
+/// driver records (frames are only processed during globally synchronized
+/// drain phases, so the drain-carried step is race-free).
 enum Command {
-    /// A resolved mutator op for a hosted site.
-    Op(SiteId, SiteOp),
+    /// A resolved mutator op for a hosted site, with its scenario step.
+    Op(SiteId, SiteOp, u64),
     /// An encoded inter-site frame. Stashed outside drain phases so frames
     /// never overtake the op stream, mirroring the sequential driver where
     /// delivery happens only inside `settle`.
@@ -108,28 +123,33 @@ enum Command {
     Barrier,
     /// Drain phase: process stashed and incoming frames until the global
     /// in-flight count reaches zero, then acknowledge.
-    Drain,
+    Drain(u64),
     /// Run a local collection on every hosted site.
-    Collect { ack: bool },
+    Collect { ack: bool, step: u64 },
     /// Tear the site's volatile runtime down, keeping its durable store.
     Crash(SiteId),
     /// Rebuild the site from its durable store.
-    Recover(SiteId),
+    Recover(SiteId, u64),
     /// Bring a fresh site up mid-run, caught up on membership history.
     Join {
         site: SiteId,
         history: Vec<MembershipAnnouncement>,
+        step: u64,
     },
     /// Every hosted survivor severs its references towards `departing`
     /// (the reference-handoff half of a planned leave).
-    Handoff { departing: SiteId, epoch: u64 },
+    Handoff {
+        departing: SiteId,
+        epoch: u64,
+        step: u64,
+    },
     /// Dissolve a site that completed its planned leave.
     Remove(SiteId),
     /// Evict a site without ceremony, keeping its heap for the oracle.
     Evict(SiteId),
     /// Apply one membership announcement to every hosted runtime (queued
     /// for hosted sites currently down, applied at recovery).
-    Membership(MembershipAnnouncement),
+    Membership(MembershipAnnouncement, u64),
     /// Hand every runtime and counter back to the coordinator and exit.
     Shutdown,
 }
@@ -202,6 +222,10 @@ struct Worker<C: Collector, F> {
     runtimes: BTreeMap<SiteId, SiteRuntime<C>>,
     /// Durable stores of hosted sites that are currently down.
     downed: BTreeMap<SiteId, SiteStore<C::Msg>>,
+    /// Observability handles of hosted downed sites — detached at crash
+    /// (the measurement layer sits outside the failure model) and
+    /// re-attached after recovery, so WAL replay never double-counts.
+    downed_obs: BTreeMap<SiteId, SiteObs>,
     /// Membership steps hosted downed sites missed, applied at recovery.
     pending_catchup: BTreeMap<SiteId, Vec<Catchup>>,
     /// Heaps of evicted hosted sites.
@@ -222,6 +246,11 @@ struct Worker<C: Collector, F> {
     factory: F,
     sync_mode: SyncMode,
     workers: usize,
+    /// Observability config, for sites joining mid-run.
+    obs_config: ObsConfig,
+    /// The scenario step carried by the command currently being handled —
+    /// pushed into each runtime's obs handle so probes stamp logical time.
+    current_step: u64,
 }
 
 fn worker_of(site: SiteId, workers: usize) -> usize {
@@ -237,16 +266,21 @@ where
     fn run(mut self, rx: Receiver<Command>) {
         while let Ok(cmd) = rx.recv() {
             match cmd {
-                Command::Op(site, op) => self.apply_op(site, op),
+                Command::Op(site, op, step) => {
+                    self.current_step = step;
+                    self.apply_op(site, op);
+                }
                 Command::Frame { from, to, frame } => self.pending.push_back((from, to, frame)),
                 Command::Barrier => {
                     let _ = self.replies.send(Reply::AtBarrier);
                 }
-                Command::Drain => {
+                Command::Drain(step) => {
+                    self.current_step = step;
                     let processed = self.drain(&rx);
                     let _ = self.replies.send(Reply::DrainDone { processed });
                 }
-                Command::Collect { ack } => {
+                Command::Collect { ack, step } => {
+                    self.current_step = step;
                     let sites: Vec<SiteId> = self.runtimes.keys().copied().collect();
                     for site in sites {
                         self.collect_site(site);
@@ -261,12 +295,28 @@ where
                             .take_store()
                             .expect("crash orders require durability (checked at construction)");
                         self.downed.insert(site, store);
+                        self.downed_obs.insert(site, runtime.take_obs());
                     }
                 }
-                Command::Recover(site) => {
+                Command::Recover(site, step) => {
+                    self.current_step = step;
                     if let Some(store) = self.downed.remove(&site) {
-                        let runtime =
+                        let mut runtime =
                             SiteRuntime::recover(store, (self.factory)(site), self.sync_mode);
+                        let replayed = runtime
+                            .store()
+                            .map_or(0, |store| store.stats().records_replayed);
+                        // Replay ran with a disabled handle; re-attach the
+                        // crash-time measurements now.
+                        if let Some(obs) = self.downed_obs.remove(&site) {
+                            runtime.set_obs(obs);
+                        }
+                        {
+                            let obs = runtime.obs_mut();
+                            obs.set_step(step);
+                            obs.add_aux("recoveries", 1);
+                            obs.event("wal-replay", false, &[("records_replayed", replayed)]);
+                        }
                         self.runtimes.insert(site, runtime);
                         self.recoveries += 1;
                         // Catch up on membership steps missed while down, in
@@ -282,9 +332,15 @@ where
                         }
                     }
                 }
-                Command::Join { site, history } => {
+                Command::Join {
+                    site,
+                    history,
+                    step,
+                } => {
+                    self.current_step = step;
                     let mut runtime =
-                        SiteRuntime::with_mode(site, (self.factory)(site), self.sync_mode);
+                        SiteRuntime::with_mode(site, (self.factory)(site), self.sync_mode)
+                            .with_obs(SiteObs::new(Some(site), &self.obs_config));
                     if let Some(store) = SiteStore::open(site, &self.durability) {
                         runtime = runtime.with_store(store);
                     }
@@ -294,7 +350,12 @@ where
                         self.absorb(site, tick);
                     }
                 }
-                Command::Handoff { departing, epoch } => {
+                Command::Handoff {
+                    departing,
+                    epoch,
+                    step,
+                } => {
+                    self.current_step = step;
                     let sites: Vec<SiteId> = self
                         .runtimes
                         .keys()
@@ -321,6 +382,7 @@ where
                 Command::Remove(site) => {
                     self.runtimes.remove(&site);
                     self.downed.remove(&site);
+                    self.downed_obs.remove(&site);
                     self.pending_catchup.remove(&site);
                 }
                 Command::Evict(site) => {
@@ -328,9 +390,11 @@ where
                         self.evicted.insert(site, runtime.heap().clone());
                     }
                     self.downed.remove(&site);
+                    self.downed_obs.remove(&site);
                     self.pending_catchup.remove(&site);
                 }
-                Command::Membership(ann) => {
+                Command::Membership(ann, step) => {
+                    self.current_step = step;
                     let sites: Vec<SiteId> = self.runtimes.keys().copied().collect();
                     for site in sites {
                         let tick = self.runtime(site).apply_membership(ann);
@@ -403,6 +467,7 @@ where
     }
 
     fn apply_op(&mut self, site: SiteId, op: SiteOp) {
+        let step = self.current_step;
         let Some(runtime) = self.runtimes.get_mut(&site) else {
             // The coordinator skips ops to downed sites; a straggler here
             // would mean the skip analysis and the crash orders disagree.
@@ -411,6 +476,7 @@ where
                 self.index
             );
         };
+        runtime.obs_mut().set_step(step);
         match op {
             SiteOp::Alloc { local_root, expect } => {
                 let addr = runtime.alloc(local_root);
@@ -459,7 +525,10 @@ where
     }
 
     fn runtime(&mut self, site: SiteId) -> &mut SiteRuntime<C> {
-        self.runtimes.get_mut(&site).expect("site is up")
+        let step = self.current_step;
+        let runtime = self.runtimes.get_mut(&site).expect("site is up");
+        runtime.obs_mut().set_step(step);
+        runtime
     }
 
     /// Mirrors `Cluster::collect_site`, minus the mid-run oracle (the
@@ -467,9 +536,11 @@ where
     /// workers run; safety is judged at the end of the run and by the
     /// equivalence suite).
     fn collect_site(&mut self, site: SiteId) {
+        let step = self.current_step;
         let Some(runtime) = self.runtimes.get_mut(&site) else {
             return;
         };
+        runtime.obs_mut().set_step(step);
         let outcome = runtime.collect();
         let tick = if outcome.is_noop() {
             None
@@ -494,10 +565,16 @@ where
             self.verdicts += tick.verdicts_applied;
             let now = self.shared.deliveries.load(Ordering::SeqCst);
             self.shared.last_verdict_at.fetch_max(now, Ordering::SeqCst);
+            self.shared
+                .last_verdict_step
+                .fetch_max(self.current_step, Ordering::SeqCst);
         }
         for (dest, msg) in tick.outgoing {
             let now = self.shared.deliveries.load(Ordering::SeqCst);
             self.shared.triggered_at.fetch_min(now, Ordering::SeqCst);
+            self.shared
+                .triggered_step
+                .fetch_min(self.current_step, Ordering::SeqCst);
             self.send_payload(site, dest, &SimPayload::Control(msg));
         }
         if let Some(runtime) = self.runtimes.get_mut(&site) {
@@ -510,8 +587,9 @@ where
     /// the termination barrier can never observe a frame-shaped gap.
     fn send_payload(&mut self, from: SiteId, to: SiteId, payload: &SimPayload<C::Msg>) {
         let frame = Frame::encode(payload);
-        let len = frame.wire_len();
-        self.metrics.record_sent(frame.class(), frame.label(), len);
+        // The shared frame-layer hook keeps byte accounting identical with
+        // the threaded transport's encode path.
+        let len = self.metrics.record_frame_sent(&frame);
         let queued = self
             .shared
             .queued_bytes
@@ -520,7 +598,8 @@ where
         self.shared
             .peak_queued_bytes
             .fetch_max(queued, Ordering::SeqCst);
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let credited = self.shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.shared.credit_hwm.fetch_max(credited, Ordering::SeqCst);
         self.shared.frames_sent.fetch_add(1, Ordering::SeqCst);
         let dest = worker_of(to, self.workers);
         if self.mailboxes[dest]
@@ -547,7 +626,7 @@ where
             let payload: SimPayload<C::Msg> = frame
                 .decode()
                 .expect("wire frame decodes back to the payload that was sent");
-            self.metrics.record_delivered(frame.class(), frame.label());
+            self.metrics.record_frame_delivered(&frame);
             self.shared.deliveries.fetch_add(1, Ordering::SeqCst);
             let runtime = self.runtime(to);
             let tick = match payload {
@@ -561,7 +640,7 @@ where
             // The site is down (or between crash and recover): the frame
             // dies with the inbox, counted as loss — the same semantics as
             // both transports.
-            self.metrics.record_dropped(frame.class(), frame.label());
+            self.metrics.record_frame_dropped(&frame);
         }
         self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -590,6 +669,11 @@ struct Coordinator<C: Collector> {
     evicted: BTreeSet<SiteId>,
     /// Every announcement so far, replayed to joiners as catch-up history.
     membership_log: Vec<MembershipAnnouncement>,
+    /// The logical step clock — counts scenario steps exactly like the
+    /// sequential driver's, and is carried on every dispatched command.
+    step: u64,
+    /// Cluster-scope observability handle.
+    obs: SiteObs,
 }
 
 impl<C: Collector> Coordinator<C> {
@@ -604,7 +688,8 @@ impl<C: Collector> Coordinator<C> {
     }
 
     fn send_to_site(&self, site: SiteId, op: SiteOp) {
-        let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Op(site, op));
+        let _ =
+            self.mailboxes[worker_of(site, self.workers)].send(Command::Op(site, op, self.step));
     }
 
     fn broadcast(&self, make: impl Fn() -> Command) {
@@ -639,21 +724,39 @@ impl<C: Collector> Coordinator<C> {
     /// sequential settle's global round counter survives only as the
     /// safety valve; progress itself is judged by the termination barrier.
     fn settle(&mut self) {
+        let step = self.step;
+        let mut rounds: u64 = 0;
+        let mut delivered: u64 = 0;
         self.broadcast(|| Command::Barrier);
         self.await_acks("barrier");
         for _ in 0..self.config.settle_rounds() {
+            rounds += 1;
             self.lifecycle();
-            self.broadcast(|| Command::Drain);
+            self.broadcast(|| Command::Drain(step));
             let processed = self.await_acks("drain");
+            delivered += processed;
             self.lifecycle();
             let before = self.shared.frames_sent.load(Ordering::SeqCst);
-            self.broadcast(|| Command::Collect { ack: true });
+            self.broadcast(|| Command::Collect { ack: true, step });
             self.await_acks("collect");
             let emitted = self.shared.frames_sent.load(Ordering::SeqCst) - before;
             if processed == 0 && emitted == 0 && self.shared.in_flight.load(Ordering::SeqCst) == 0 {
                 break;
             }
         }
+        // Round/delivery counts are schedule-shaped (drain waves vs the
+        // sequential per-delivery loop) — a non-deterministic event. The
+        // credit high-water mark is the run-so-far peak of the termination
+        // barrier's in-flight pool.
+        self.obs.event(
+            "settle",
+            false,
+            &[
+                ("rounds", rounds),
+                ("delivered", delivered),
+                ("credit_hwm", self.shared.credit_hwm.load(Ordering::SeqCst)),
+            ],
+        );
     }
 
     /// Applies the fault plan's crash schedule against the shared delivery
@@ -696,7 +799,8 @@ impl<C: Collector> Coordinator<C> {
 
     fn recover_site(&mut self, site: SiteId) {
         if self.downed.remove(&site).is_some() {
-            let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Recover(site));
+            let _ = self.mailboxes[worker_of(site, self.workers)]
+                .send(Command::Recover(site, self.step));
         }
     }
 
@@ -820,7 +924,10 @@ impl<C: Collector> Coordinator<C> {
                     self.send_to_site(site, SiteOp::Collect);
                 }
             }
-            MutatorOp::CollectAll => self.broadcast(|| Command::Collect { ack: false }),
+            MutatorOp::CollectAll => {
+                let step = self.step;
+                self.broadcast(|| Command::Collect { ack: false, step });
+            }
         }
     }
 
@@ -828,8 +935,18 @@ impl<C: Collector> Coordinator<C> {
     /// mailbox order guarantees a preceding `Join`/`Remove`/`Evict` command
     /// on the owning worker lands before the announcement does.
     fn announce(&mut self, ann: MembershipAnnouncement) {
+        self.obs.event(
+            "membership",
+            true,
+            &[
+                ("epoch", ann.epoch),
+                ("site", u64::from(ann.site.index())),
+                ("kind", membership_kind_code(ann.kind)),
+            ],
+        );
         self.membership_log.push(ann);
-        self.broadcast(|| Command::Membership(ann));
+        let step = self.step;
+        self.broadcast(|| Command::Membership(ann, step));
     }
 
     /// The parallel half of the elastic-membership protocol — same
@@ -849,8 +966,11 @@ impl<C: Collector> Coordinator<C> {
                 }
                 self.membership.insert(site);
                 let history = self.membership_log.clone();
-                let _ = self.mailboxes[worker_of(site, self.workers)]
-                    .send(Command::Join { site, history });
+                let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Join {
+                    site,
+                    history,
+                    step: self.step,
+                });
                 self.announce(MembershipAnnouncement {
                     epoch: ev.epoch,
                     kind: MembershipChange::Join,
@@ -870,9 +990,16 @@ impl<C: Collector> Coordinator<C> {
                 // Quiesce so the departing site's DkLog drains, hand off on
                 // every survivor, quiesce again, then dissolve + announce.
                 self.settle();
+                self.obs.event(
+                    "handoff",
+                    true,
+                    &[("epoch", ev.epoch), ("departing", u64::from(site.index()))],
+                );
+                let step = self.step;
                 self.broadcast(|| Command::Handoff {
                     departing: site,
                     epoch: ev.epoch,
+                    step,
                 });
                 self.settle();
                 let _ = self.mailboxes[worker_of(site, self.workers)].send(Command::Remove(site));
@@ -919,6 +1046,9 @@ pub struct ParallelCluster<C: Collector> {
     evicted: BTreeMap<SiteId, SiteHeap>,
     /// Sites gone through a planned leave over the run.
     departed: BTreeSet<SiteId>,
+    /// Cluster-scope observability handle (network aggregates already
+    /// absorbed as auxiliary gauges at end of run).
+    obs: SiteObs,
 }
 
 impl<C> ParallelCluster<C>
@@ -958,6 +1088,7 @@ where
         let workers = (config.workers as usize).min(site_count.max(1) as usize);
         let shared = Arc::new(SharedState {
             triggered_at: AtomicU64::new(u64::MAX),
+            triggered_step: AtomicU64::new(u64::MAX),
             ..SharedState::default()
         });
         let collector_name = factory(SiteId::new(0)).name().to_owned();
@@ -979,7 +1110,8 @@ where
                 if worker_of(site, workers) != index {
                     continue;
                 }
-                let mut runtime = SiteRuntime::with_mode(site, factory(site), config.sync_mode);
+                let mut runtime = SiteRuntime::with_mode(site, factory(site), config.sync_mode)
+                    .with_obs(SiteObs::new(Some(site), &config.obs));
                 if let Some(store) = SiteStore::open(site, &config.durability) {
                     runtime = runtime.with_store(store);
                 }
@@ -989,6 +1121,7 @@ where
                 index,
                 runtimes,
                 downed: BTreeMap::new(),
+                downed_obs: BTreeMap::new(),
                 pending_catchup: BTreeMap::new(),
                 evicted: BTreeMap::new(),
                 durability: config.durability.clone(),
@@ -1004,6 +1137,8 @@ where
                 factory: factory.clone(),
                 sync_mode: config.sync_mode,
                 workers,
+                obs_config: config.obs,
+                current_step: 0,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -1020,6 +1155,7 @@ where
         } else {
             Some(Legality::default())
         };
+        let obs = SiteObs::new(None, &config.obs);
         let mut coordinator = Coordinator::<C> {
             config,
             mailboxes,
@@ -1035,16 +1171,26 @@ where
             departed: BTreeSet::new(),
             evicted: BTreeSet::new(),
             membership_log: Vec::new(),
+            step: 0,
+            obs,
         };
 
         // Drive the scenario: ops stream to the shards, settles synchronize.
+        // The step clock counts scenario steps exactly like the sequential
+        // driver's (first step = 1, end-of-run completion = one more).
         for step in scenario.steps() {
+            coordinator.step += 1;
+            let current = coordinator.step;
+            coordinator.obs.set_step(current);
             match step {
                 Step::Op(op) => coordinator.dispatch(*op),
                 Step::Settle => coordinator.settle(),
                 Step::Membership(ev) => coordinator.execute_membership(*ev),
             }
         }
+        coordinator.step += 1;
+        let final_step = coordinator.step;
+        coordinator.obs.set_step(final_step);
         coordinator.settle();
         if !coordinator.downed.is_empty() {
             let sites: Vec<SiteId> = coordinator.downed.keys().copied().collect();
@@ -1100,6 +1246,32 @@ where
         .len() as u64;
         let allocated = sites.values().map(|rt| rt.heap().stats().allocated).sum();
         let triggered = shared.triggered_at.load(Ordering::SeqCst);
+        let triggered_step = shared.triggered_step.load(Ordering::SeqCst);
+        let mut cluster_obs = coordinator.obs.take();
+        if cluster_obs.is_enabled() {
+            // The network aggregates live in the report's metrics snapshot;
+            // mirror them as auxiliary gauges before `net` moves out.
+            cluster_obs.set_gauge_aux("net_control_messages_sent", net.control_messages_sent());
+            cluster_obs.set_gauge_aux("net_mutator_messages_sent", net.mutator_messages_sent());
+            cluster_obs.set_gauge_aux("net_control_bytes_sent", net.control_bytes_sent());
+            cluster_obs.set_gauge_aux("net_mutator_bytes_sent", net.mutator_bytes_sent());
+            // Per-(class, payload-label) breakdown, mirroring the sequential
+            // driver's teardown events. Aux: the worker mesh only frames
+            // cross-worker traffic, so volumes are transport-shaped.
+            for row in net.bucket_rows() {
+                cluster_obs.event_labeled(
+                    "msg-class",
+                    row.key.to_string(),
+                    false,
+                    &[
+                        ("sent", row.sent),
+                        ("delivered", row.delivered),
+                        ("dropped", row.dropped),
+                        ("bytes", row.bytes_sent),
+                    ],
+                );
+            }
+        }
         let report = RunReport {
             collector: collector_name,
             sites: sites.len() as u32,
@@ -1111,6 +1283,9 @@ where
             finished_at: shared.deliveries.load(Ordering::SeqCst),
             last_verdict_at: (verdicts > 0).then(|| shared.last_verdict_at.load(Ordering::SeqCst)),
             triggered_at: (triggered != u64::MAX).then_some(triggered),
+            triggered_step: (triggered_step != u64::MAX).then_some(triggered_step),
+            last_verdict_step: (verdicts > 0)
+                .then(|| shared.last_verdict_step.load(Ordering::SeqCst)),
             net,
         };
         let cluster = ParallelCluster {
@@ -1119,6 +1294,7 @@ where
             recoveries,
             evicted,
             departed: coordinator.departed.clone(),
+            obs: cluster_obs,
         };
         (report, cluster)
     }
@@ -1201,6 +1377,40 @@ impl<C: Collector> ParallelCluster<C> {
             }
         }
         total
+    }
+
+    /// Assembles the observability report — the parallel counterpart of
+    /// [`Cluster::obs_report`](crate::Cluster::obs_report), with identical
+    /// scope structure and auxiliary gauges. Empty/disabled when
+    /// [`ClusterConfig::obs`] is off.
+    pub fn obs_report(&self) -> ObsReport {
+        let mut cluster_obs = self.obs.clone();
+        if cluster_obs.is_enabled() {
+            let stats = self.store_stats();
+            cluster_obs.set_gauge_aux("store_records_appended", stats.records_appended);
+            cluster_obs.set_gauge_aux("store_wal_bytes_appended", stats.wal_bytes_appended);
+            cluster_obs.set_gauge_aux("store_checkpoints_installed", stats.checkpoints_installed);
+            cluster_obs.set_gauge_aux("store_records_replayed", stats.records_replayed);
+            cluster_obs.set_gauge_aux("recoveries", self.recoveries);
+        }
+        let site_obs: Vec<SiteObs> = self
+            .sites
+            .values()
+            .map(|runtime| {
+                let mut obs = runtime.obs().clone();
+                if obs.is_enabled() {
+                    for (name, value) in runtime.collector().obs_counters() {
+                        obs.set_gauge_aux(name, value);
+                    }
+                    let heap = runtime.heap().stats();
+                    obs.set_gauge_aux("heap_allocated", heap.allocated);
+                    obs.set_gauge_aux("heap_collected", heap.collected);
+                    obs.set_gauge_aux("heap_collections", heap.collections);
+                }
+                obs
+            })
+            .collect();
+        ObsReport::assemble(&cluster_obs, site_obs.iter())
     }
 }
 

@@ -31,6 +31,16 @@ pub struct RunReport {
     pub last_verdict_at: Option<u64>,
     /// Simulated time of the first edge destruction that triggered GGD.
     pub triggered_at: Option<u64>,
+    /// Scenario step of the first edge destruction that triggered GGD.
+    /// Unlike `triggered_at` (whose clock is transport-specific: sim ticks
+    /// sequentially, delivery counts in the parallel driver), the step clock
+    /// counts scenario steps and is reported identically by the sequential
+    /// and parallel drivers on the equivalence corpus.
+    pub triggered_step: Option<u64>,
+    /// Scenario step at which the last GGD verdict was applied, if any —
+    /// together with `triggered_step` this gives the driver-independent
+    /// detection latency ([`RunReport::detection_latency_steps`]).
+    pub last_verdict_step: Option<u64>,
     /// Network metrics (messages and bytes per class and label).
     pub net: NetMetrics,
 }
@@ -50,6 +60,16 @@ impl RunReport {
     /// to the last verdict. `None` when no verdict was produced.
     pub fn detection_latency(&self) -> Option<u64> {
         match (self.triggered_at, self.last_verdict_at) {
+            (Some(t), Some(v)) if v >= t => Some(v - t),
+            _ => None,
+        }
+    }
+
+    /// Detection latency in scenario steps: the driver-independent variant
+    /// of [`RunReport::detection_latency`], identical between the sequential
+    /// and parallel drivers on the equivalence corpus.
+    pub fn detection_latency_steps(&self) -> Option<u64> {
+        match (self.triggered_step, self.last_verdict_step) {
             (Some(t), Some(v)) if v >= t => Some(v - t),
             _ => None,
         }

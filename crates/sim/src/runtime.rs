@@ -13,6 +13,7 @@
 //! heap. The caller owns the transport and the run-wide counters.
 
 use ggd_heap::{CollectionOutcome, ObjRef, SiteHeap};
+use ggd_obs::SiteObs;
 use ggd_store::{CheckpointImage, HandoffRecord, MembershipAnnouncement, SiteStore, WalRecord};
 use ggd_types::{GlobalAddr, SiteId};
 
@@ -62,6 +63,13 @@ pub struct SiteRuntime<C: Collector> {
     /// same entry points. `None` during recovery replay itself, so replayed
     /// events are not re-logged.
     store: Option<SiteStore<C::Msg>>,
+    /// Observability handle (`ggd-obs`). Disabled by default — every probe
+    /// below is a no-op then. The measurement layer sits *outside* the
+    /// failure model: the driver detaches it before a crash and re-attaches
+    /// it after [`SiteRuntime::recover`] (which always builds the runtime
+    /// with a disabled handle), so WAL replay through the entry points never
+    /// double-counts.
+    obs: SiteObs,
 }
 
 impl<C: Collector> SiteRuntime<C> {
@@ -79,7 +87,37 @@ impl<C: Collector> SiteRuntime<C> {
             collector,
             mode,
             store: None,
+            obs: SiteObs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. Meant for a fresh runtime, before
+    /// any event.
+    pub fn with_obs(mut self, obs: SiteObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Read access to the observability handle.
+    pub fn obs(&self) -> &SiteObs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability handle (the driver uses this to
+    /// keep the logical step clock current).
+    pub fn obs_mut(&mut self) -> &mut SiteObs {
+        &mut self.obs
+    }
+
+    /// Detaches the observability handle, leaving a disabled one — the crash
+    /// path: measurements survive the crash outside the failure model.
+    pub fn take_obs(&mut self) -> SiteObs {
+        self.obs.take()
+    }
+
+    /// Re-attaches an observability handle after recovery.
+    pub fn set_obs(&mut self, obs: SiteObs) {
+        self.obs = obs;
     }
 
     /// Attaches a durable store (durability on). Meant for a fresh runtime,
@@ -138,6 +176,7 @@ impl<C: Collector> SiteRuntime<C> {
                     collector: restored,
                     mode,
                     store: None,
+                    obs: SiteObs::disabled(),
                 };
                 if mode == SyncMode::Incremental {
                     // Prime the delta tracker: its first activation reports
@@ -234,6 +273,11 @@ impl<C: Collector> SiteRuntime<C> {
         if !store.wants_checkpoint() {
             return;
         }
+        let before = if self.obs.is_enabled() {
+            self.collector.obs_counters()
+        } else {
+            Vec::new()
+        };
         let Some(state) = self.collector.checkpoint_state() else {
             return;
         };
@@ -241,6 +285,26 @@ impl<C: Collector> SiteRuntime<C> {
             heap: self.heap.image(),
             collector: state,
         });
+        if self.obs.is_enabled() {
+            // Checkpointing is where DkLog compaction runs: surface the
+            // rows it dropped as a trace event.
+            let compacted = self
+                .collector
+                .obs_counters()
+                .iter()
+                .find(|(name, _)| *name == "dk_rows_compacted")
+                .map(|&(_, v)| v)
+                .map(|after| {
+                    before
+                        .iter()
+                        .find(|(name, _)| *name == "dk_rows_compacted")
+                        .map_or(after, |&(_, v)| after.saturating_sub(v))
+                })
+                .unwrap_or(0);
+            self.obs.add_aux("checkpoints", 1);
+            self.obs
+                .event("checkpoint", false, &[("dk_rows_compacted", compacted)]);
+        }
     }
 
     /// The snapshot pipeline this runtime drives.
@@ -271,7 +335,9 @@ impl<C: Collector> SiteRuntime<C> {
         } else {
             self.heap.alloc()
         };
-        self.heap.addr_of(id)
+        let addr = self.heap.addr_of(id);
+        self.obs.on_alloc(addr);
+        addr
     }
 
     /// Adds a local reference `from → to`. Either endpoint may already have
@@ -449,7 +515,14 @@ impl<C: Collector> SiteRuntime<C> {
     /// not) and judges the freed set against the oracle.
     pub fn collect(&mut self) -> CollectionOutcome {
         self.log(WalRecord::Collect);
-        self.heap.collect()
+        let outcome = self.heap.collect();
+        if self.obs.is_enabled() {
+            for id in &outcome.freed {
+                self.obs
+                    .on_reclaimed(GlobalAddr::from_parts(self.site, *id));
+            }
+        }
+        outcome
     }
 
     /// Snapshot plumbing after local mutation: feeds the collector the
@@ -492,6 +565,7 @@ impl<C: Collector> SiteRuntime<C> {
         for addr in self.collector.take_verdicts() {
             if addr.site() == self.site {
                 self.heap.unregister_global_root(addr.object());
+                self.obs.on_detected(addr);
                 applied += 1;
             }
         }

@@ -373,6 +373,8 @@ impl Encode for EngineStats {
         self.propagations_sent.encode(out);
         self.messages_received.encode(out);
         self.verdicts.encode(out);
+        self.compaction_runs.encode(out);
+        self.compaction_rows_dropped.encode(out);
     }
 }
 impl Decode for EngineStats {
@@ -385,6 +387,8 @@ impl Decode for EngineStats {
             propagations_sent: u64::decode(r)?,
             messages_received: u64::decode(r)?,
             verdicts: u64::decode(r)?,
+            compaction_runs: u64::decode(r)?,
+            compaction_rows_dropped: u64::decode(r)?,
         })
     }
 }

@@ -16,6 +16,9 @@
 //! * [`causal`] — the paper's causal GGD engine (lazy log-keeping +
 //!   vector-time reconstruction);
 //! * [`baselines`] — reference-listing and graph-tracing baselines;
+//! * [`obs`] — deterministic observability: per-site metric registries,
+//!   span-style structured tracing and the object-lifecycle ledger, all
+//!   keyed by logical time;
 //! * [`sim`] — the transport-generic cluster, per-site runtimes, oracle and
 //!   experiment reports;
 //! * [`explore`] — the deterministic scenario explorer: generated
@@ -44,6 +47,7 @@ pub use ggd_explore as explore;
 pub use ggd_heap as heap;
 pub use ggd_mutator as mutator;
 pub use ggd_net as net;
+pub use ggd_obs as obs;
 pub use ggd_sim as sim;
 pub use ggd_store as store;
 pub use ggd_types as types;
@@ -64,6 +68,7 @@ pub mod prelude {
         FaultPlan, Frame, LinkFault, NamedFaultPlan, NetMetrics, SimNetwork, SimNetworkConfig,
         ThreadedNetwork, Transport, WireCodec,
     };
+    pub use ggd_obs::{ObsConfig, ObsReport, TraceView};
     pub use ggd_sim::{
         CausalCollector, Cluster, ClusterConfig, Collector, DurabilityConfig, DurabilityMode,
         Oracle, ParallelCluster, RefListingCollector, RunReport, SiteRuntime, TracingCollector,

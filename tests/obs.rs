@@ -1,0 +1,237 @@
+//! Metric-determinism tests for the `ggd-obs` layer (ISSUE 9, satellite 3).
+//!
+//! The same `(scenario, fault plan, seed)` triple must produce a
+//! byte-identical metrics snapshot and JSONL trace:
+//!
+//! * within one driver, across repeated runs (full view — everything,
+//!   including the driver-shaped auxiliary registries, is reproducible in
+//!   the deterministic sequential driver);
+//! * across drivers — sequential vs parallel at 1 and 3 workers — in the
+//!   deterministic view, for all three collector families;
+//! * and the step-clock detection latency must agree across drivers.
+
+use ggd::obs::{validate_jsonl, ObsConfig, TraceView};
+use ggd::prelude::*;
+
+/// Scenarios of the cross-driver equivalence corpus exercised here.
+fn corpus() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("paper_example", workloads::paper_example()),
+        ("ring", workloads::ring(5)),
+        ("churn", workloads::random_churn(6, 120, 9)),
+    ]
+}
+
+/// Observability on, oracle off: the oracle is sequential-only, so the
+/// cross-driver surface must be produced without it.
+fn obs_config(workers: u32) -> ClusterConfig {
+    ClusterConfig {
+        obs: ObsConfig::enabled(),
+        safety_oracle: false,
+        workers,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn observability_off_by_default_costs_nothing_and_yields_empty_artifacts() {
+    let scenario = workloads::paper_example();
+    let (_, cluster) =
+        Cluster::run_seeded(&scenario, ClusterConfig::default(), CausalCollector::new);
+    let report = cluster.obs_report();
+    assert!(!report.enabled, "default config must keep obs disabled");
+    assert!(report.events().is_empty());
+    assert_eq!(report.ledger().len(), 0);
+}
+
+#[test]
+fn sequential_runs_are_byte_identical_in_the_full_view() {
+    for (name, scenario) in corpus() {
+        let run = || {
+            let (_, cluster) = Cluster::run_seeded(&scenario, obs_config(1), CausalCollector::new);
+            let report = cluster.obs_report();
+            (
+                report.metrics_text(TraceView::Full),
+                report.trace_jsonl(TraceView::Full),
+            )
+        };
+        let (metrics_a, trace_a) = run();
+        let (metrics_b, trace_b) = run();
+        assert_eq!(metrics_a, metrics_b, "{name}: metrics must be reproducible");
+        assert_eq!(trace_a, trace_b, "{name}: trace must be reproducible");
+        validate_jsonl(&trace_a).unwrap_or_else(|e| panic!("{name}: invalid trace: {e}"));
+    }
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_in_the_deterministic_view() {
+    let scenario = workloads::paper_example();
+    let run = || {
+        let (_, cluster) =
+            ParallelCluster::run_seeded(&scenario, obs_config(3), CausalCollector::new);
+        let report = cluster.obs_report();
+        (
+            report.metrics_text(TraceView::Deterministic),
+            report.trace_jsonl(TraceView::Deterministic),
+        )
+    };
+    let (metrics_a, trace_a) = run();
+    let (metrics_b, trace_b) = run();
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(trace_a, trace_b);
+    validate_jsonl(&trace_a).expect("parallel deterministic trace must validate");
+}
+
+/// The deterministic view — schedule-independent registries, det events,
+/// ledger without the oracle-only `unreachable` stamp — must agree
+/// byte-for-byte between the sequential driver and the parallel driver at
+/// 1 and 3 workers, for every collector family.
+fn assert_cross_driver_identity<C, F>(label: &str, factory: F)
+where
+    C: Collector + Send + 'static,
+    C::Msg: Send + 'static,
+    F: Fn(SiteId) -> C + Clone + Send + 'static,
+{
+    for (name, scenario) in corpus() {
+        let (seq_report, seq) = Cluster::run_seeded(&scenario, obs_config(1), factory.clone());
+        let seq_obs = seq.obs_report();
+        let seq_metrics = seq_obs.metrics_text(TraceView::Deterministic);
+        let seq_trace = seq_obs.trace_jsonl(TraceView::Deterministic);
+        validate_jsonl(&seq_trace).unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
+        for workers in [1, 3] {
+            let (par_report, par) =
+                ParallelCluster::run_seeded(&scenario, obs_config(workers), factory.clone());
+            let par_obs = par.obs_report();
+            assert_eq!(
+                seq_metrics,
+                par_obs.metrics_text(TraceView::Deterministic),
+                "{label}/{name}: deterministic metrics differ at workers={workers}"
+            );
+            assert_eq!(
+                seq_trace,
+                par_obs.trace_jsonl(TraceView::Deterministic),
+                "{label}/{name}: deterministic trace differs at workers={workers}"
+            );
+            assert_eq!(
+                seq_report.triggered_step, par_report.triggered_step,
+                "{label}/{name}: triggered_step differs at workers={workers}"
+            );
+            assert_eq!(
+                seq_report.last_verdict_step, par_report.last_verdict_step,
+                "{label}/{name}: last_verdict_step differs at workers={workers}"
+            );
+            assert_eq!(
+                seq_report.detection_latency_steps(),
+                par_report.detection_latency_steps(),
+                "{label}/{name}: detection latency differs at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn causal_collector_metrics_agree_across_drivers() {
+    assert_cross_driver_identity("causal", CausalCollector::new);
+}
+
+#[test]
+fn reflisting_collector_metrics_agree_across_drivers() {
+    assert_cross_driver_identity("reflisting", RefListingCollector::new);
+}
+
+#[test]
+fn tracing_collector_metrics_agree_across_drivers() {
+    let sites = corpus()
+        .iter()
+        .map(|(_, s)| s.site_count())
+        .max()
+        .unwrap_or(0);
+    assert_cross_driver_identity("tracing", TracingCollector::factory(sites));
+}
+
+#[test]
+fn step_clock_detection_latency_is_populated_on_the_paper_example() {
+    let scenario = workloads::paper_example();
+    let (report, _) = Cluster::run_seeded(&scenario, obs_config(1), CausalCollector::new);
+    let latency = report
+        .detection_latency_steps()
+        .expect("the paper example must trigger and detect garbage");
+    assert!(
+        latency <= report.last_verdict_step.unwrap(),
+        "latency must be derived from the step clock"
+    );
+}
+
+#[test]
+fn oracle_populates_the_detection_histogram_sequentially() {
+    let scenario = workloads::paper_example();
+    let config = ClusterConfig {
+        obs: ObsConfig::enabled(),
+        ..ClusterConfig::default()
+    };
+    let (_, cluster) = Cluster::run_seeded(&scenario, config, CausalCollector::new);
+    let report = cluster.obs_report();
+    assert!(
+        report.detection_histogram().count > 0,
+        "with the oracle on, unreachable→detected latencies must be sampled"
+    );
+    assert!(report.reclaim_lag_histogram().count > 0);
+    assert!(report.lifetime_histogram().count > 0);
+    let full = report.metrics_text(TraceView::Full);
+    assert!(full.contains("total histogram detection"));
+    // The oracle-only stamp must stay out of the deterministic artifacts.
+    let det_trace = report.trace_jsonl(TraceView::Deterministic);
+    assert!(!det_trace.contains("unreachable"));
+}
+
+#[test]
+fn crash_faults_keep_the_trace_valid_and_count_recoveries() {
+    let scenario = workloads::random_churn(4, 80, 5);
+    let config = ClusterConfig {
+        obs: ObsConfig::enabled(),
+        faults: FaultPlan::new().with_crash(SiteId::new(1), 10, 40),
+        durability: DurabilityConfig::memory().with_checkpoint_every(8),
+        safety_oracle: false,
+        ..ClusterConfig::default()
+    };
+    let run = || {
+        let (_, cluster) = Cluster::run_seeded(&scenario, config.clone(), CausalCollector::new);
+        let report = cluster.obs_report();
+        assert!(report.total_aux("recoveries") >= 1, "crash must recover");
+        assert!(
+            report
+                .events()
+                .iter()
+                .any(|e| e.kind == "wal-replay" && !e.det),
+            "recovery must emit a wal-replay event"
+        );
+        (
+            report.metrics_text(TraceView::Full),
+            report.trace_jsonl(TraceView::Full),
+        )
+    };
+    let (metrics_a, trace_a) = run();
+    let (metrics_b, trace_b) = run();
+    assert_eq!(metrics_a, metrics_b, "faulted metrics must be reproducible");
+    assert_eq!(trace_a, trace_b, "faulted trace must be reproducible");
+    validate_jsonl(&trace_a).expect("faulted trace must validate");
+}
+
+#[test]
+fn membership_events_land_in_the_deterministic_trace() {
+    let base = workloads::random_churn(5, 60, 3);
+    let mut saw_handoff = false;
+    for seed in 0..6 {
+        let spliced = splice_membership(&base, seed);
+        let (_, cluster) = Cluster::run_seeded(&spliced, obs_config(1), CausalCollector::new);
+        let report = cluster.obs_report();
+        let det_trace = report.trace_jsonl(TraceView::Deterministic);
+        assert!(
+            det_trace.contains("\"kind\":\"membership\""),
+            "seed {seed}: every spliced schedule announces membership"
+        );
+        saw_handoff |= det_trace.contains("\"kind\":\"handoff\"");
+        validate_jsonl(&det_trace).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    assert!(saw_handoff, "some schedule must include a planned leave");
+}
