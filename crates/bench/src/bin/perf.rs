@@ -13,10 +13,11 @@
 //! `--obs-overhead` runs only the obs-off/obs-on sim delta pair of each
 //! obs-tagged case — the cheap way to re-measure the enabled-path cost.
 //!
-//! `--check FILE` parses FILE against the `ggd-bench-perf/v4` schema and
+//! `--check FILE` parses FILE against the `ggd-bench-perf/v5` schema and
 //! fails (exit 1) when any fresh row is more than 2x slower than the
 //! committed row of the same `(name, transport, mode, workers, obs)`,
-//! when a row's `control_bytes` exceeds 1.5x its committed baseline, or
+//! when a row's `control_bytes` or `allocations` exceeds 1.5x its
+//! committed baseline, or
 //! when an observability-enabled row runs more than 1.5x its obs-off
 //! sibling — the CI regression gates. Every run also executes the recovery matrix (WAL
 //! append overhead + full-cluster replay, `mode: "wal"` / `"replay"`);
@@ -30,9 +31,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ggd_bench::perf::{
-    check_control_bytes, check_obs_overhead, check_parallel_scaling, check_regression,
-    check_speedup, perf_json, perf_matrix, recovery_matrix, run_matrix, run_recovery_matrix,
-    validate_perf_json,
+    check_allocations, check_control_bytes, check_obs_overhead, check_parallel_scaling,
+    check_regression, check_speedup, perf_json, perf_matrix, recovery_matrix, run_matrix,
+    run_recovery_matrix, validate_perf_json,
 };
 
 /// A [`System`]-backed allocator that counts allocations and bytes, so the
@@ -217,6 +218,22 @@ fn main() {
                 }
                 Err(err) => {
                     eprintln!("PERF REGRESSION (control bytes): {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Allocation-count gate (schema v5): counts are machine-speed
+        // independent, so a 1.5x tolerance catches reintroduced per-op
+        // allocations the wall-clock gate would absorb. The floor skips
+        // rows dominated by one-time lazy initialization.
+        if !recovery_only {
+            match check_allocations(&committed, &entries, 1.5, 100_000) {
+                Ok(()) => eprintln!("allocations regression check: ok"),
+                Err(err) if err.starts_with("no fresh row") => {
+                    eprintln!("allocations check SKIPPED: {err}");
+                }
+                Err(err) => {
+                    eprintln!("PERF REGRESSION (allocations): {err}");
                     std::process::exit(1);
                 }
             }

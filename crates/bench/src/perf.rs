@@ -564,7 +564,12 @@ pub fn run_recovery_matrix(
 /// reclaimed object) and `obs` (`1` on observability-enabled rows)
 /// columns. All optional fields are emitted only on rows that carry them,
 /// so rows written by older suites remain byte-identical.
-pub const PERF_SCHEMA: &str = "ggd-bench-perf/v4";
+///
+/// `v5` changes no row field: it marks the `allocations` column as a gated
+/// baseline (see [`check_allocations`]) now that the arena heap makes the
+/// count a meaningful budget rather than an observation. Rows written by a
+/// v4 suite are byte-identical under v5.
+pub const PERF_SCHEMA: &str = "ggd-bench-perf/v5";
 
 /// Renders entries as the `BENCH_perf.json` document.
 pub fn perf_json(entries: &[PerfEntry]) -> String {
@@ -805,6 +810,61 @@ pub fn check_control_bytes(
     }
     if compared == 0 {
         return Err("no fresh row had a committed control_bytes baseline".to_owned());
+    }
+    Ok(())
+}
+
+/// Regression gate on the `allocations` column: every fresh row whose
+/// `(name, transport, mode, workers, obs)` key has a committed counterpart
+/// must not allocate more than `factor`× the committed count. Allocation
+/// counts are near-deterministic for a fixed scenario (unlike wall clock
+/// they do not depend on machine speed), so a modest factor catches
+/// "reintroduced a per-op allocation" regressions that the 2× wall-clock
+/// gate would absorb on faster hardware. Committed rows under `floor`
+/// allocations are exempt — tiny rows are dominated by one-time lazy
+/// initialization.
+///
+/// # Errors
+///
+/// Returns a description of the first blown-up row, or of a run where no
+/// row could be compared at all.
+pub fn check_allocations(
+    committed: &JsonValue,
+    fresh: &[PerfEntry],
+    factor: f64,
+    floor: u64,
+) -> Result<(), String> {
+    let entries = committed
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("committed file has no entries")?;
+    let mut compared = 0;
+    for row in fresh {
+        let committed_allocs = entries.iter().find_map(|e| {
+            (e.get("name").and_then(JsonValue::as_str) == Some(row.name.as_str())
+                && e.get("transport").and_then(JsonValue::as_str) == Some(row.transport.as_str())
+                && e.get("mode").and_then(JsonValue::as_str) == Some(row.mode.as_str())
+                && e.get("workers").and_then(JsonValue::as_u64) == row.workers.map(u64::from)
+                && (e.get("obs").and_then(JsonValue::as_u64) == Some(1)) == row.obs)
+                .then(|| e.get("allocations").and_then(JsonValue::as_u64))
+                .flatten()
+        });
+        let Some(committed_allocs) = committed_allocs else {
+            continue; // new row: nothing to regress against
+        };
+        compared += 1;
+        if committed_allocs < floor {
+            continue;
+        }
+        if row.allocations as f64 > committed_allocs as f64 * factor {
+            return Err(format!(
+                "{}/{}/{}: allocations {} exceeds {factor}x the committed {committed_allocs}",
+                row.name, row.transport, row.mode, row.allocations
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no fresh row had a committed allocations baseline".to_owned());
     }
     Ok(())
 }
@@ -1130,6 +1190,43 @@ mod tests {
             row.name = "brand_new_case".to_owned();
         }
         assert!(check_control_bytes(&doc, &unbaselined, 1.5)
+            .unwrap_err()
+            .starts_with("no fresh row"));
+    }
+
+    #[test]
+    fn allocations_regress_against_committed_rows() {
+        let cases = vec![PerfCase {
+            name: "smoke_churn_2k",
+            spec: PerfSpec::mix(8, 400, 200),
+            seed: 7,
+            threaded: false,
+            compare: false,
+            workers: &[],
+            obs_row: false,
+        }];
+        // A probe that advances on every call stands in for the real
+        // counting allocator, so rows carry non-zero counts.
+        let counter = std::cell::Cell::new(0u64);
+        let probe = move || {
+            counter.set(counter.get() + 1_000_000);
+            (counter.get(), counter.get() * 64)
+        };
+        let entries = run_matrix(&cases, false, &probe, |_| {});
+        let doc = validate_perf_json(&perf_json(&entries)).unwrap();
+        check_allocations(&doc, &entries, 1.5, 0).expect("identical rows cannot regress");
+        let mut bloated = entries.clone();
+        bloated[0].allocations = bloated[0].allocations * 2 + 1;
+        assert!(check_allocations(&doc, &bloated, 1.5, 0).is_err());
+        // The floor exempts rows whose committed count is noise-sized.
+        check_allocations(&doc, &bloated, 1.5, u64::MAX).expect("floor exempts small rows");
+        // Rows without a committed baseline are skipped, and skipping
+        // everything is reported as such.
+        let mut unbaselined = entries.clone();
+        for row in &mut unbaselined {
+            row.name = "brand_new_case".to_owned();
+        }
+        assert!(check_allocations(&doc, &unbaselined, 1.5, 0)
             .unwrap_err()
             .starts_with("no fresh row"));
     }

@@ -1,7 +1,7 @@
 //! The local mark-sweep collector and its statistics.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use ggd_types::{GlobalAddr, ObjectId};
@@ -74,17 +74,27 @@ impl SiteHeap {
     /// Objects not reachable from that set are freed; remote references held
     /// only by freed objects are reported as dropped proxies so that the GGD
     /// layer can emit the corresponding edge-destruction control messages.
+    ///
+    /// Marking runs over the arena with the heap's reusable scratch buffers,
+    /// so a collection allocates only for its outcome report.
     pub fn collect(&mut self) -> CollectionOutcome {
-        let roots = self.roots_for_local_gc();
-        let marked = self.reachable_from(roots);
-
         let mut freed = BTreeSet::new();
-        let mut freed_remote: BTreeMap<GlobalAddr, u64> = BTreeMap::new();
-        for (id, obj) in self.objects_ref() {
-            if !marked.contains(id) {
-                freed.insert(*id);
-                for addr in obj.remote_refs() {
-                    *freed_remote.entry(addr).or_insert(0) += 1;
+        let mut freed_slots: Vec<u32> = Vec::new();
+        let mut freed_remote: BTreeSet<GlobalAddr> = BTreeSet::new();
+        {
+            let (arena, scratch, local_roots, global_roots) = self.traversal_parts();
+            arena.mark_reachable(
+                scratch,
+                local_roots.iter().chain(global_roots.iter()).copied(),
+                None,
+            );
+            for slot in arena.live_slots() {
+                if !scratch.is_marked(slot) {
+                    freed.insert(arena.id_at(slot));
+                    freed_slots.push(slot);
+                    for addr in arena.refs(slot).filter_map(|r| r.as_remote()) {
+                        freed_remote.insert(addr);
+                    }
                 }
             }
         }
@@ -93,17 +103,15 @@ impl SiteHeap {
         // their slots are still readable. Freed objects were unreachable
         // from every snapshot source, so no surviving vertex's reachable
         // set changes — no dirt is recorded for survivors.
-        self.note_collected(&freed);
-        for id in &freed {
-            self.objects_mut().remove(id);
-        }
+        self.note_collected_slots(&freed_slots);
+        self.free_slot_list(&freed_slots);
         self.drop_roots_of_collected(&freed);
 
         // A proxy is dropped only when no live object still holds it.
         let still_held = self.remote_targets();
         let mut dropped_proxies = BTreeSet::new();
         let mut surviving_proxies = BTreeSet::new();
-        for addr in freed_remote.keys() {
+        for addr in &freed_remote {
             if still_held.contains(addr) {
                 surviving_proxies.insert(*addr);
             } else {
@@ -128,9 +136,8 @@ impl SiteHeap {
     /// run right now would free. Used by tests and by the simulator's oracle.
     pub fn would_collect(&self) -> BTreeSet<ObjectId> {
         let marked = self.reachable_from(self.roots_for_local_gc());
-        self.objects_ref()
-            .keys()
-            .copied()
+        self.iter()
+            .map(|obj| obj.id())
             .filter(|id| !marked.contains(id))
             .collect()
     }

@@ -1,11 +1,18 @@
 //! Checkpoint images: the durable representation of a [`SiteHeap`].
 //!
 //! A [`HeapImage`] captures everything a heap needs to come back after a
-//! crash with *identical observable behaviour*: the objects with their slots
-//! in original insertion order (slot order matters — `remove_ref` drops the
-//! first matching slot, so a reordered image would make replayed unlinks
-//! diverge), both root sets, the allocation counter (so replayed `alloc`s
-//! reassign the very same [`ObjectId`]s) and the lifetime statistics.
+//! crash with *identical observable behaviour*: the objects with their
+//! reference lists in original order (list order matters — `remove_ref`
+//! drops the first matching slot, so a reordered image would make replayed
+//! unlinks diverge), both root sets, the allocation counter (so replayed
+//! `alloc`s reassign the very same [`ObjectId`]s), the lifetime statistics
+//! and the arena's generation watermark. The watermark strictly exceeds
+//! every generation the pre-crash slab ever stamped onto a handle, so a
+//! restored heap starts its slots above it — any [`ObjectSlot`] handle
+//! minted before the checkpoint fails to resolve instead of aliasing
+//! whatever landed in the re-packed slab.
+//!
+//! [`ObjectSlot`]: crate::ObjectSlot
 //!
 //! The incremental-delta tracker is deliberately *not* part of the image:
 //! it is a cache, rebuilt from the restored heap by the first
@@ -17,7 +24,7 @@ use std::collections::BTreeSet;
 use ggd_types::{ObjectId, SiteId};
 
 use crate::collect::HeapStats;
-use crate::object::{HeapObject, ObjRef};
+use crate::object::ObjRef;
 use crate::site_heap::SiteHeap;
 
 /// The durable state of one [`SiteHeap`], as written into checkpoints by
@@ -34,8 +41,12 @@ pub struct HeapImage {
     pub local_roots: BTreeSet<ObjectId>,
     /// The conservative global root set.
     pub global_roots: BTreeSet<ObjectId>,
-    /// Every live object with its slots in insertion order, sorted by id.
+    /// Every live object with its references in list order, sorted by id.
     pub objects: Vec<(ObjectId, Vec<ObjRef>)>,
+    /// The arena's generation watermark: strictly above every slot
+    /// generation the imaged heap ever handed out, so stale handles cannot
+    /// resolve against the restored slab.
+    pub generation: u32,
 }
 
 impl SiteHeap {
@@ -47,25 +58,24 @@ impl SiteHeap {
             stats: *self.stats(),
             local_roots: self.local_roots().collect(),
             global_roots: self.global_roots().collect(),
-            objects: self
-                .iter()
-                .map(|obj| (obj.id(), obj.slots().to_vec()))
-                .collect(),
+            objects: self.iter().map(|obj| (obj.id(), obj.refs_vec())).collect(),
+            generation: self.arena().image_generation(),
         }
     }
 
     /// Rebuilds a heap from a checkpoint image. The delta tracker starts
-    /// inactive, exactly as on a fresh heap.
+    /// inactive, exactly as on a fresh heap; every slot of the rebuilt slab
+    /// starts at the image's generation watermark.
     pub fn from_image(image: &HeapImage) -> SiteHeap {
         let mut heap = SiteHeap::new(image.site);
         heap.set_next_object_id(image.next_object);
         *heap.stats_mut() = image.stats;
-        for (id, slots) in &image.objects {
-            let mut obj = HeapObject::new(*id);
-            for &slot in slots {
-                obj.push_ref(slot);
+        heap.arena_mut().set_watermark(image.generation);
+        for (id, refs) in &image.objects {
+            let slot = heap.insert_restored(*id);
+            for &r in refs {
+                heap.arena_mut().push_ref(slot, r);
             }
-            heap.objects_mut().insert(*id, obj);
         }
         heap.set_root_sets(image.local_roots.clone(), image.global_roots.clone());
         heap
@@ -98,7 +108,16 @@ mod tests {
         let image = h.image();
         let back = SiteHeap::from_image(&image);
         assert_eq!(back, h, "restored heap equals the original");
-        assert_eq!(back.image(), image, "image round trip is exact");
+
+        // Re-imaging reproduces everything except the watermark, which only
+        // ratchets upward (the restored slab starts above the old one).
+        let mut again = back.image();
+        assert!(again.generation > image.generation);
+        again.generation = image.generation;
+        assert_eq!(
+            again, image,
+            "image round trip is exact up to the watermark"
+        );
 
         // The allocation counter continues where it left off.
         let mut h2 = SiteHeap::from_image(&image);
@@ -122,8 +141,24 @@ mod tests {
         h.remove_ref(a, ObjRef::Local(b)).unwrap();
         restored.remove_ref(a, ObjRef::Local(b)).unwrap();
         assert_eq!(
-            h.object(a).unwrap().slots(),
-            restored.object(a).unwrap().slots()
+            h.object(a).unwrap().refs_vec(),
+            restored.object(a).unwrap().refs_vec()
         );
+    }
+
+    #[test]
+    fn pre_checkpoint_handles_do_not_resolve_after_restore() {
+        let mut h = SiteHeap::new(SiteId::new(0));
+        let root = h.alloc_local_root();
+        let handle = h.slot_of(root).unwrap();
+        let restored = SiteHeap::from_image(&h.image());
+        assert!(restored.contains(root), "the object itself survives");
+        assert!(
+            restored.resolve_slot(handle).is_none(),
+            "a handle minted before the checkpoint must go stale"
+        );
+        // Handles minted after restore work as usual.
+        let fresh = restored.slot_of(root).unwrap();
+        assert_eq!(restored.resolve_slot(fresh).unwrap().id(), root);
     }
 }

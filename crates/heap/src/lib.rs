@@ -37,14 +37,22 @@
 //! assert_eq!(outcome.freed.len(), 0); // everything is reachable
 //! ```
 
+mod arena;
 mod collect;
 mod image;
+mod model;
 mod object;
+#[cfg(any(test, feature = "reference-model"))]
+mod reference;
 mod site_heap;
 mod snapshot;
 
+pub use arena::{ObjectSlot, ObjectView, Refs};
 pub use collect::{CollectionOutcome, HeapStats};
 pub use image::HeapImage;
-pub use object::{HeapObject, ObjRef};
+pub use model::ObjectModel;
+pub use object::ObjRef;
+#[cfg(any(test, feature = "reference-model"))]
+pub use reference::{HeapObject, RefHeap};
 pub use site_heap::{HeapError, SiteHeap};
 pub use snapshot::{EdgeDelta, EdgeDiff, ReachabilitySnapshot, VertexEdgeDelta};

@@ -1,4 +1,9 @@
-//! Heap objects and the references they hold.
+//! References held in object slots.
+//!
+//! Objects themselves no longer exist as owned values — they are slots of
+//! the per-site slab (see the `arena` module) read through
+//! [`ObjectView`](crate::ObjectView). What remains here is the reference
+//! type those slots store.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -63,91 +68,6 @@ impl From<GlobalAddr> for ObjRef {
     }
 }
 
-/// One object of a site's heap: an identity plus the multiset of references
-/// it currently holds.
-///
-/// Slots are a multiset rather than a set: an object may legitimately hold
-/// the same reference twice (e.g. both `prev` and `next` of a one-element
-/// doubly-linked list), and dropping one copy must not drop the other.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HeapObject {
-    id: ObjectId,
-    slots: Vec<ObjRef>,
-}
-
-impl HeapObject {
-    /// Creates an empty object.
-    pub fn new(id: ObjectId) -> Self {
-        HeapObject {
-            id,
-            slots: Vec::new(),
-        }
-    }
-
-    /// The object's identity within its site.
-    pub fn id(&self) -> ObjectId {
-        self.id
-    }
-
-    /// The references currently held, in insertion order.
-    pub fn slots(&self) -> &[ObjRef] {
-        &self.slots
-    }
-
-    /// Number of references held.
-    pub fn slot_count(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Adds a reference.
-    pub fn push_ref(&mut self, r: ObjRef) {
-        self.slots.push(r);
-    }
-
-    /// Removes one occurrence of a reference; returns whether one was found.
-    pub fn remove_ref(&mut self, r: ObjRef) -> bool {
-        if let Some(pos) = self.slots.iter().position(|&s| s == r) {
-            self.slots.swap_remove(pos);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Removes every reference held by the object.
-    pub fn clear_refs(&mut self) {
-        self.slots.clear();
-    }
-
-    /// True when the object holds at least one occurrence of `r`.
-    pub fn holds(&self, r: ObjRef) -> bool {
-        self.slots.contains(&r)
-    }
-
-    /// Iterates over the local (same-site) references held.
-    pub fn local_refs(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.slots.iter().filter_map(|r| r.as_local())
-    }
-
-    /// Iterates over the remote references (proxies) held.
-    pub fn remote_refs(&self) -> impl Iterator<Item = GlobalAddr> + '_ {
-        self.slots.iter().filter_map(|r| r.as_remote())
-    }
-}
-
-impl fmt::Display for HeapObject {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[", self.id)?;
-        for (i, slot) in self.slots.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{slot}")?;
-        }
-        write!(f, "]")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,42 +84,5 @@ mod tests {
         assert!(!local.is_remote());
         assert_eq!(local.to_string(), "o3");
         assert_eq!(remote.to_string(), "*s1/o2");
-    }
-
-    #[test]
-    fn slots_are_a_multiset() {
-        let mut obj = HeapObject::new(ObjectId::new(1));
-        let r = ObjRef::Local(ObjectId::new(2));
-        obj.push_ref(r);
-        obj.push_ref(r);
-        assert_eq!(obj.slot_count(), 2);
-        assert!(obj.remove_ref(r));
-        assert!(obj.holds(r));
-        assert!(obj.remove_ref(r));
-        assert!(!obj.holds(r));
-        assert!(!obj.remove_ref(r));
-    }
-
-    #[test]
-    fn local_and_remote_iterators() {
-        let mut obj = HeapObject::new(ObjectId::new(1));
-        obj.push_ref(ObjRef::Local(ObjectId::new(2)));
-        obj.push_ref(ObjRef::Remote(GlobalAddr::new(3, 4)));
-        obj.push_ref(ObjRef::Local(ObjectId::new(5)));
-        let locals: Vec<_> = obj.local_refs().collect();
-        let remotes: Vec<_> = obj.remote_refs().collect();
-        assert_eq!(locals, vec![ObjectId::new(2), ObjectId::new(5)]);
-        assert_eq!(remotes, vec![GlobalAddr::new(3, 4)]);
-        assert_eq!(obj.id(), ObjectId::new(1));
-        assert_eq!(obj.slots().len(), 3);
-    }
-
-    #[test]
-    fn clear_refs_empties_object() {
-        let mut obj = HeapObject::new(ObjectId::new(1));
-        obj.push_ref(ObjRef::Local(ObjectId::new(2)));
-        obj.clear_refs();
-        assert_eq!(obj.slot_count(), 0);
-        assert_eq!(obj.to_string(), "o1[]");
     }
 }

@@ -1,14 +1,21 @@
 //! The per-site heap: allocation, mutation, root management and the
 //! bookkeeping needed by both local GC and global garbage detection.
+//!
+//! Since the arena rebuild, the heap is a thin policy layer over the slab in
+//! the `arena` module: identities ([`ObjectId`]) map to dense slots through
+//! a flat index, reference lists live in pooled chunks, and root membership
+//! is mirrored into per-slot flags so the delta hot path never touches the
+//! ordered root sets (which are kept for deterministic iteration).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use ggd_types::{GlobalAddr, ObjectId, SiteId};
 
+use crate::arena::{Arena, ObjectSlot, ObjectView, Scratch, FLAG_GLOBAL_ROOT, FLAG_LOCAL_ROOT};
 use crate::collect::HeapStats;
-use crate::object::{HeapObject, ObjRef};
+use crate::object::ObjRef;
 use crate::snapshot::DeltaTracker;
 
 /// Errors returned by heap mutation operations.
@@ -53,26 +60,34 @@ impl std::error::Error for HeapError {}
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteHeap {
     site: SiteId,
-    objects: BTreeMap<ObjectId, HeapObject>,
+    arena: Arena,
     local_roots: BTreeSet<ObjectId>,
     global_roots: BTreeSet<ObjectId>,
     next_object: u64,
     stats: HeapStats,
     /// Incremental-delta bookkeeping (see [`SiteHeap::take_delta`]); not
-    /// part of the heap's logical identity, so it is skipped by equality
-    /// and serialization and rebuilt lazily on the first delta request.
-    #[serde(skip)]
+    /// part of the heap's logical identity, so it is excluded from equality
+    /// and rebuilt lazily on the first delta request.
     tracker: DeltaTracker,
+    /// Reusable traversal buffers (marks, stack, visit list).
+    scratch: Scratch,
 }
 
 impl PartialEq for SiteHeap {
     fn eq(&self, other: &Self) -> bool {
+        // Logical identity only: slab layout, generations and caches are
+        // representation details (a recovered heap compares equal to the
+        // heap it checkpointed even though its slots were re-packed).
         self.site == other.site
-            && self.objects == other.objects
-            && self.local_roots == other.local_roots
-            && self.global_roots == other.global_roots
             && self.next_object == other.next_object
             && self.stats == other.stats
+            && self.local_roots == other.local_roots
+            && self.global_roots == other.global_roots
+            && self.arena.live_count() == other.arena.live_count()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|(a, b)| a.id() == b.id() && a.refs().eq(b.refs()))
     }
 }
 
@@ -81,12 +96,13 @@ impl SiteHeap {
     pub fn new(site: SiteId) -> Self {
         SiteHeap {
             site,
-            objects: BTreeMap::new(),
+            arena: Arena::default(),
             local_roots: BTreeSet::new(),
             global_roots: BTreeSet::new(),
             next_object: 1,
             stats: HeapStats::default(),
             tracker: DeltaTracker::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -99,7 +115,8 @@ impl SiteHeap {
     pub fn alloc(&mut self) -> ObjectId {
         let id = ObjectId::new(self.next_object);
         self.next_object += 1;
-        self.objects.insert(id, HeapObject::new(id));
+        self.arena.insert(id);
+        self.tracker.grow_to(self.arena.slot_count());
         self.stats.allocated += 1;
         id
     }
@@ -108,9 +125,12 @@ impl SiteHeap {
     pub fn alloc_local_root(&mut self) -> ObjectId {
         let id = self.alloc();
         self.local_roots.insert(id);
-        // A fresh root reaches nothing, so the tracker's locally-rooted
-        // cache extends in place — no anchor recomputation needed.
-        self.tracker.note_fresh_local_root(id);
+        if let Some(slot) = self.arena.slot_of(id) {
+            self.arena.set_flag(slot, FLAG_LOCAL_ROOT);
+            // A fresh root reaches nothing, so the tracker's locally-rooted
+            // cache extends in place — no anchor recomputation needed.
+            self.tracker.note_fresh_local_root(slot);
+        }
         id
     }
 
@@ -134,27 +154,40 @@ impl SiteHeap {
 
     /// True when the object currently exists on this heap.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.objects.contains_key(&id)
+        self.arena.contains_id(id)
     }
 
     /// Read access to an object.
-    pub fn object(&self, id: ObjectId) -> Option<&HeapObject> {
-        self.objects.get(&id)
+    pub fn object(&self, id: ObjectId) -> Option<ObjectView<'_>> {
+        self.arena.slot_of(id).map(|slot| self.arena.view(slot))
+    }
+
+    /// The slab placement of a live object, as a checked handle.
+    pub fn slot_of(&self, id: ObjectId) -> Option<ObjectSlot> {
+        self.arena.slot_of(id).map(|slot| self.arena.handle(slot))
+    }
+
+    /// Resolves a slot handle back to the object living there, provided the
+    /// placement is still current. A handle minted before the object was
+    /// reclaimed returns `None` even when the slot has been reused — the
+    /// generation stamp no longer matches.
+    pub fn resolve_slot(&self, handle: ObjectSlot) -> Option<ObjectView<'_>> {
+        self.arena.resolve(handle).map(|slot| self.arena.view(slot))
     }
 
     /// Number of live (not yet collected) objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.arena.live_count()
     }
 
     /// True when the heap holds no objects at all.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.arena.live_count() == 0
     }
 
     /// Iterates over all objects in identity order.
-    pub fn iter(&self) -> impl Iterator<Item = &HeapObject> {
-        self.objects.values()
+    pub fn iter(&self) -> impl Iterator<Item = ObjectView<'_>> {
+        self.arena.iter_id_order()
     }
 
     /// Allocation and collection statistics.
@@ -182,8 +215,9 @@ impl SiteHeap {
     ///
     /// Returns [`HeapError::UnknownObject`] when the object does not exist.
     pub fn add_local_root(&mut self, id: ObjectId) -> Result<(), HeapError> {
-        self.ensure_exists(id)?;
+        let slot = self.arena.slot_of(id).ok_or(HeapError::UnknownObject(id))?;
         if self.local_roots.insert(id) {
+            self.arena.set_flag(slot, FLAG_LOCAL_ROOT);
             self.tracker.note_anchor_dirty();
         }
         Ok(())
@@ -194,6 +228,9 @@ impl SiteHeap {
     pub fn remove_local_root(&mut self, id: ObjectId) -> bool {
         let removed = self.local_roots.remove(&id);
         if removed {
+            if let Some(slot) = self.arena.slot_of(id) {
+                self.arena.clear_flag(slot, FLAG_LOCAL_ROOT);
+            }
             self.tracker.note_anchor_dirty();
         }
         removed
@@ -215,9 +252,10 @@ impl SiteHeap {
     ///
     /// Returns [`HeapError::UnknownObject`] when the object does not exist.
     pub fn register_global_root(&mut self, id: ObjectId) -> Result<bool, HeapError> {
-        self.ensure_exists(id)?;
+        let slot = self.arena.slot_of(id).ok_or(HeapError::UnknownObject(id))?;
         let added = self.global_roots.insert(id);
         if added {
+            self.arena.set_flag(slot, FLAG_GLOBAL_ROOT);
             self.tracker.note_root_added(id);
         }
         Ok(added)
@@ -230,6 +268,9 @@ impl SiteHeap {
     pub fn unregister_global_root(&mut self, id: ObjectId) -> bool {
         let removed = self.global_roots.remove(&id);
         if removed {
+            if let Some(slot) = self.arena.slot_of(id) {
+                self.arena.clear_flag(slot, FLAG_GLOBAL_ROOT);
+            }
             self.tracker.note_root_removed(id);
         }
         removed
@@ -251,15 +292,20 @@ impl SiteHeap {
     /// Returns [`HeapError::UnknownObject`] when `from` does not exist, or
     /// when `to` is a local reference to an object that does not exist.
     pub fn add_ref(&mut self, from: ObjectId, to: ObjRef) -> Result<(), HeapError> {
-        if let ObjRef::Local(target) = to {
-            self.ensure_exists(target)?;
-        }
-        let obj = self
-            .objects
-            .get_mut(&from)
+        let target_slot = match to {
+            ObjRef::Local(target) => Some(
+                self.arena
+                    .slot_of(target)
+                    .ok_or(HeapError::UnknownObject(target))?,
+            ),
+            ObjRef::Remote(_) => None,
+        };
+        let from_slot = self
+            .arena
+            .slot_of(from)
             .ok_or(HeapError::UnknownObject(from))?;
-        obj.push_ref(to);
-        self.tracker.note_ref_added(from, to);
+        self.arena.push_ref(from_slot, to);
+        self.tracker.note_ref_added(from_slot, target_slot);
         Ok(())
     }
 
@@ -271,13 +317,16 @@ impl SiteHeap {
     ///
     /// Returns [`HeapError::UnknownObject`] when `from` does not exist.
     pub fn remove_ref(&mut self, from: ObjectId, to: ObjRef) -> Result<bool, HeapError> {
-        let obj = self
-            .objects
-            .get_mut(&from)
+        let from_slot = self
+            .arena
+            .slot_of(from)
             .ok_or(HeapError::UnknownObject(from))?;
-        let removed = obj.remove_ref(to);
+        let removed = self.arena.remove_first_ref(from_slot, to);
         if removed {
-            self.tracker.note_ref_removed(from, to);
+            // The target may already be gone when dangling slots to collected
+            // objects are dropped; the tracker then only records the dirt.
+            let target_slot = to.as_local().and_then(|t| self.arena.slot_of(t));
+            self.tracker.note_ref_removed(from_slot, target_slot);
         }
         Ok(removed)
     }
@@ -288,16 +337,17 @@ impl SiteHeap {
     ///
     /// Returns [`HeapError::UnknownObject`] when `from` does not exist.
     pub fn clear_refs(&mut self, from: ObjectId) -> Result<(), HeapError> {
-        let obj = self
-            .objects
-            .get_mut(&from)
+        let from_slot = self
+            .arena
+            .slot_of(from)
             .ok_or(HeapError::UnknownObject(from))?;
         if self.tracker.is_active() {
-            for &slot in obj.slots() {
-                self.tracker.note_ref_removed(from, slot);
+            for r in self.arena.refs(from_slot) {
+                let target_slot = r.as_local().and_then(|t| self.arena.slot_of(t));
+                self.tracker.note_ref_removed(from_slot, target_slot);
             }
         }
-        obj.clear_refs();
+        self.arena.clear_refs(from_slot);
         Ok(())
     }
 
@@ -331,9 +381,10 @@ impl SiteHeap {
     /// Every remote address referenced from anywhere on this heap (live or
     /// not): the site's outbound proxies.
     pub fn remote_targets(&self) -> BTreeSet<GlobalAddr> {
-        self.objects
-            .values()
-            .flat_map(|o| o.remote_refs())
+        let arena = &self.arena;
+        arena
+            .live_slots()
+            .flat_map(|slot| arena.refs(slot).filter_map(|r| r.as_remote()))
             .collect()
     }
 
@@ -343,24 +394,7 @@ impl SiteHeap {
     where
         I: IntoIterator<Item = ObjectId>,
     {
-        let mut visited = BTreeSet::new();
-        let mut stack: Vec<ObjectId> = seeds
-            .into_iter()
-            .filter(|id| self.objects.contains_key(id))
-            .collect();
-        while let Some(id) = stack.pop() {
-            if !visited.insert(id) {
-                continue;
-            }
-            if let Some(obj) = self.objects.get(&id) {
-                for next in obj.local_refs() {
-                    if self.objects.contains_key(&next) && !visited.contains(&next) {
-                        stack.push(next);
-                    }
-                }
-            }
-        }
-        visited
+        self.reach_with_remotes(seeds).0
     }
 
     /// The remote addresses reachable from the given seed objects by
@@ -370,16 +404,15 @@ impl SiteHeap {
     where
         I: IntoIterator<Item = ObjectId>,
     {
-        let reachable = self.reachable_from(seeds);
-        reachable
-            .iter()
-            .filter_map(|id| self.objects.get(id))
-            .flat_map(|o| o.remote_refs())
-            .collect()
+        self.reach_with_remotes(seeds).1
     }
 
     /// Computes, in one traversal, the objects reachable from the seeds and
     /// the remote addresses they hold — the two halves of a snapshot source.
+    ///
+    /// This is the allocating `&self` variant used by full rescans and
+    /// one-off queries; the delta hot path uses the arena's scratch-based
+    /// marking instead.
     pub(crate) fn reach_with_remotes<I>(
         &self,
         seeds: I,
@@ -387,32 +420,59 @@ impl SiteHeap {
     where
         I: IntoIterator<Item = ObjectId>,
     {
+        let arena = &self.arena;
         let mut visited = BTreeSet::new();
         let mut remotes = BTreeSet::new();
-        let mut stack: Vec<ObjectId> = seeds
+        let mut stack: Vec<u32> = seeds
             .into_iter()
-            .filter(|id| self.objects.contains_key(id))
+            .filter_map(|id| arena.slot_of(id))
             .collect();
-        while let Some(id) = stack.pop() {
-            if !visited.insert(id) {
+        while let Some(slot) = stack.pop() {
+            if !visited.insert(arena.id_at(slot)) {
                 continue;
             }
-            if let Some(obj) = self.objects.get(&id) {
-                for slot in obj.slots() {
-                    match *slot {
-                        ObjRef::Local(next) => {
-                            if self.objects.contains_key(&next) && !visited.contains(&next) {
-                                stack.push(next);
+            for r in arena.refs(slot) {
+                match r {
+                    ObjRef::Local(next) => {
+                        if let Some(t) = arena.slot_of(next) {
+                            if !visited.contains(&next) {
+                                stack.push(t);
                             }
                         }
-                        ObjRef::Remote(addr) => {
-                            remotes.insert(addr);
-                        }
+                    }
+                    ObjRef::Remote(addr) => {
+                        remotes.insert(addr);
                     }
                 }
             }
         }
         (visited, remotes)
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Split borrow for scratch-based traversals: the arena, the traversal
+    /// buffers and both root sets, all at once.
+    pub(crate) fn traversal_parts(
+        &mut self,
+    ) -> (
+        &Arena,
+        &mut Scratch,
+        &BTreeSet<ObjectId>,
+        &BTreeSet<ObjectId>,
+    ) {
+        (
+            &self.arena,
+            &mut self.scratch,
+            &self.local_roots,
+            &self.global_roots,
+        )
     }
 
     pub(crate) fn tracker(&self) -> &DeltaTracker {
@@ -427,8 +487,28 @@ impl SiteHeap {
         self.tracker = tracker;
     }
 
-    pub(crate) fn note_collected(&mut self, freed: &BTreeSet<ObjectId>) {
-        self.tracker.note_collected(freed, &self.objects);
+    /// Tracker bookkeeping for a sweep, while the doomed slots are still
+    /// readable: unhook each freed slot from its targets' predecessor lists
+    /// and drop its own dirt/rootedness state.
+    pub(crate) fn note_collected_slots(&mut self, freed_slots: &[u32]) {
+        if !self.tracker.is_active() {
+            return;
+        }
+        for &slot in freed_slots {
+            for r in self.arena.refs(slot) {
+                if let Some(target) = r.as_local().and_then(|t| self.arena.slot_of(t)) {
+                    self.tracker.remove_pred(target, slot);
+                }
+            }
+            self.tracker.note_freed_slot(slot);
+        }
+    }
+
+    /// Frees a batch of swept slots.
+    pub(crate) fn free_slot_list(&mut self, freed_slots: &[u32]) {
+        for &slot in freed_slots {
+            self.arena.free(slot);
+        }
     }
 
     pub(crate) fn next_object_id(&self) -> u64 {
@@ -439,29 +519,41 @@ impl SiteHeap {
         self.next_object = next;
     }
 
+    /// Inserts an object while rebuilding from a checkpoint image. The
+    /// caller pushes the references afterwards and sets the root sets last.
+    pub(crate) fn insert_restored(&mut self, id: ObjectId) -> u32 {
+        self.arena.insert(id)
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
     pub(crate) fn set_root_sets(
         &mut self,
         local_roots: BTreeSet<ObjectId>,
         global_roots: BTreeSet<ObjectId>,
     ) {
+        for &id in &local_roots {
+            if let Some(slot) = self.arena.slot_of(id) {
+                self.arena.set_flag(slot, FLAG_LOCAL_ROOT);
+            }
+        }
+        for &id in &global_roots {
+            if let Some(slot) = self.arena.slot_of(id) {
+                self.arena.set_flag(slot, FLAG_GLOBAL_ROOT);
+            }
+        }
         self.local_roots = local_roots;
         self.global_roots = global_roots;
     }
 
     pub(crate) fn ensure_exists(&self, id: ObjectId) -> Result<(), HeapError> {
-        if self.objects.contains_key(&id) {
+        if self.arena.contains_id(id) {
             Ok(())
         } else {
             Err(HeapError::UnknownObject(id))
         }
-    }
-
-    pub(crate) fn objects_mut(&mut self) -> &mut BTreeMap<ObjectId, HeapObject> {
-        &mut self.objects
-    }
-
-    pub(crate) fn objects_ref(&self) -> &BTreeMap<ObjectId, HeapObject> {
-        &self.objects
     }
 
     pub(crate) fn local_root_set(&self) -> &BTreeSet<ObjectId> {
@@ -485,7 +577,8 @@ impl SiteHeap {
 
     pub(crate) fn drop_roots_of_collected(&mut self, freed: &BTreeSet<ObjectId>) {
         // Roots are themselves part of the local-GC root set, so a correct
-        // collection never frees one; the tracker notes are defensive.
+        // collection never frees one; the tracker notes are defensive. The
+        // slots are already gone, so only the ordered sets need cleaning.
         for id in freed {
             if self.local_roots.remove(id) {
                 self.tracker.note_anchor_dirty();
@@ -621,6 +714,52 @@ mod tests {
         h.add_ref(b, ObjRef::Local(a)).unwrap();
         let reach = h.reachable_from([a]);
         assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn slot_handles_go_stale_after_reclaim_and_reuse() {
+        // The satellite invariant: a stale ObjectId (and its slot handle)
+        // must not resolve once the slot has been reclaimed and reused.
+        let mut h = heap();
+        let root = h.alloc_local_root();
+        let doomed = h.alloc();
+        let doomed_handle = h.slot_of(doomed).unwrap();
+        h.collect(); // frees `doomed`
+        assert!(!h.contains(doomed));
+        assert!(h.object(doomed).is_none());
+        assert!(h.resolve_slot(doomed_handle).is_none());
+
+        // The freed slot is reused by the next allocation...
+        let reuser = h.alloc();
+        let reuser_handle = h.slot_of(reuser).unwrap();
+        assert_eq!(doomed_handle.index(), reuser_handle.index());
+        assert_ne!(doomed_handle.generation(), reuser_handle.generation());
+
+        // ...and neither the stale id nor the stale handle can reach it.
+        assert!(h.object(doomed).is_none());
+        assert!(h.resolve_slot(doomed_handle).is_none());
+        assert_eq!(h.resolve_slot(reuser_handle).unwrap().id(), reuser);
+        assert!(h.contains(root));
+    }
+
+    #[test]
+    fn stale_ids_error_not_alias_after_reuse() {
+        let mut h = heap();
+        let root = h.alloc_local_root();
+        let doomed = h.alloc();
+        h.collect();
+        let reuser = h.alloc();
+        assert_ne!(doomed, reuser, "identities are never reused");
+        // Mutations through the stale id must fail, not hit the new tenant.
+        assert_eq!(
+            h.add_ref(doomed, ObjRef::Local(root)).unwrap_err(),
+            HeapError::UnknownObject(doomed)
+        );
+        assert_eq!(
+            h.add_ref(root, ObjRef::Local(doomed)).unwrap_err(),
+            HeapError::UnknownObject(doomed)
+        );
+        assert_eq!(h.object(reuser).unwrap().slot_count(), 0);
     }
 
     #[test]

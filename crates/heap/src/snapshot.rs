@@ -18,9 +18,14 @@
 //! which objects' out-edges changed, and [`SiteHeap::take_delta`] turns the
 //! accumulated dirt into an [`EdgeDelta`] by recomputing reachability only
 //! for the vertices whose reachable set can actually have changed (found via
-//! a reverse-edge closure of the dirty objects). The running snapshot is
-//! available through [`SiteHeap::cached_snapshot`] and always equals what a
-//! fresh [`SiteHeap::snapshot`] rescan would produce — the runtime
+//! a reverse-edge closure of the dirty objects). Since the arena rebuild the
+//! tracker's hot-path structures are all slot-indexed: dirt lives in a
+//! word-packed bitset, the reverse-edge multiset is a per-slot adjacency
+//! vector, and local rootedness is a second bitset refreshed from the
+//! marker's visit list — so a mutation costs a couple of bit operations, not
+//! a set insertion. The running snapshot is available through
+//! [`SiteHeap::cached_snapshot`] and always equals what a fresh
+//! [`SiteHeap::snapshot`] rescan would produce — the runtime
 //! `debug_assert!`s that equivalence on every delta in debug builds.
 
 use serde::{Deserialize, Serialize};
@@ -29,7 +34,7 @@ use std::fmt;
 
 use ggd_types::{GlobalAddr, ObjectId, SiteId, VertexId};
 
-use crate::object::ObjRef;
+use crate::arena::{FLAG_GLOBAL_ROOT, FLAG_LOCAL_ROOT};
 use crate::site_heap::SiteHeap;
 
 /// A point-in-time view of the edges this site contributes to the global
@@ -179,6 +184,23 @@ impl SiteHeap {
     }
 }
 
+/// Builds a snapshot directly from parts — used by the test-only reference
+/// heap so it can share the exact snapshot/diff machinery.
+#[cfg(any(test, feature = "reference-model"))]
+pub(crate) fn snapshot_from_parts(
+    site: SiteId,
+    from_local_roots: BTreeSet<GlobalAddr>,
+    per_global_root: BTreeMap<ObjectId, BTreeSet<GlobalAddr>>,
+    locally_rooted_global_roots: BTreeSet<ObjectId>,
+) -> ReachabilitySnapshot {
+    ReachabilitySnapshot {
+        site,
+        from_local_roots,
+        per_global_root,
+        locally_rooted_global_roots,
+    }
+}
+
 // ----------------------------------------------------------------------
 // Incremental deltas
 // ----------------------------------------------------------------------
@@ -193,6 +215,22 @@ pub struct VertexEdgeDelta {
     pub created: Vec<GlobalAddr>,
     /// Edges lost since the previous delta, in target order.
     pub destroyed: Vec<GlobalAddr>,
+}
+
+/// Flattens the per-vertex accumulation map into the delta's edge list,
+/// preserving vertex order (the anchor sorts first). Shared by the
+/// activation and incremental paths so the two can never drift apart.
+fn assemble_vertex_edges(
+    edges: BTreeMap<VertexId, (Vec<GlobalAddr>, Vec<GlobalAddr>)>,
+) -> Vec<VertexEdgeDelta> {
+    edges
+        .into_iter()
+        .map(|(vertex, (created, destroyed))| VertexEdgeDelta {
+            vertex,
+            created,
+            destroyed,
+        })
+        .collect()
 }
 
 /// The difference between two successive reachability snapshots, produced
@@ -270,9 +308,9 @@ impl fmt::Display for EdgeDelta {
     }
 }
 
-/// The per-heap bookkeeping behind [`SiteHeap::take_delta`]: a reverse-edge
-/// multiset, the dirty sets accumulated by mutations, and the running
-/// snapshot cache.
+/// The per-heap bookkeeping behind [`SiteHeap::take_delta`]: a slot-indexed
+/// reverse-edge multiset, word-packed dirty/rootedness bitsets, and the
+/// running snapshot cache.
 ///
 /// The tracker starts inactive and costs nothing until the first
 /// `take_delta` call activates it (full-rescan users — the retained
@@ -283,10 +321,14 @@ impl fmt::Display for EdgeDelta {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct DeltaTracker {
     active: bool,
-    /// Reverse local-edge multiset: `to → (from → occurrence count)`.
-    preds: BTreeMap<ObjectId, BTreeMap<ObjectId, u32>>,
-    /// Objects whose out-edges changed since the last delta.
-    dirty: BTreeSet<ObjectId>,
+    /// Reverse local-edge multiset, slot-indexed:
+    /// `target slot → [(pred slot, occurrence count)]`.
+    preds: Vec<Vec<(u32, u32)>>,
+    /// Dirty bitset: slots whose out-edges changed since the last delta.
+    dirty_words: Vec<u64>,
+    /// Insertion-ordered list of dirtied slots (may hold entries whose bit
+    /// was since cleared by a free — those are skipped at closure time).
+    dirty_list: Vec<u32>,
     /// The local root set changed in a reachability-relevant way.
     anchor_dirty: bool,
     /// Global roots registered since the last delta.
@@ -297,8 +339,14 @@ pub(crate) struct DeltaTracker {
     /// The running snapshot; equals `SiteHeap::snapshot()` after every
     /// `take_delta`.
     cache: ReachabilitySnapshot,
-    /// Objects reachable from the local root set, cached alongside.
-    locally_rooted: BTreeSet<ObjectId>,
+    /// Bitset of slots reachable from the local root set, cached alongside.
+    rooted_words: Vec<u64>,
+    /// Epoch-stamped marks for the reverse closure (no clearing per run).
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Reusable closure work stack and result list.
+    stack: Vec<u32>,
+    affected: Vec<u32>,
 }
 
 impl DeltaTracker {
@@ -306,41 +354,73 @@ impl DeltaTracker {
         self.active
     }
 
-    pub(crate) fn note_ref_added(&mut self, from: ObjectId, to: ObjRef) {
+    /// Sizes every slot-indexed side table for a slab of `slots` slots.
+    pub(crate) fn grow_to(&mut self, slots: usize) {
         if !self.active {
             return;
         }
-        if let ObjRef::Local(target) = to {
-            *self
-                .preds
-                .entry(target)
-                .or_default()
-                .entry(from)
-                .or_insert(0) += 1;
-        }
-        self.dirty.insert(from);
+        self.ensure_capacity(slots);
     }
 
-    pub(crate) fn note_ref_removed(&mut self, from: ObjectId, to: ObjRef) {
+    fn ensure_capacity(&mut self, slots: usize) {
+        if self.preds.len() < slots {
+            self.preds.resize_with(slots, Vec::new);
+            self.mark.resize(slots, 0);
+        }
+        let words = slots.div_ceil(64);
+        if self.dirty_words.len() < words {
+            self.dirty_words.resize(words, 0);
+            self.rooted_words.resize(words, 0);
+        }
+    }
+
+    fn set_dirty(&mut self, slot: u32) {
+        let word = &mut self.dirty_words[(slot >> 6) as usize];
+        let bit = 1u64 << (slot & 63);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.dirty_list.push(slot);
+        }
+    }
+
+    fn is_dirty(&self, slot: u32) -> bool {
+        self.dirty_words[(slot >> 6) as usize] & (1u64 << (slot & 63)) != 0
+    }
+
+    fn add_pred(&mut self, target: u32, pred: u32) {
+        let list = &mut self.preds[target as usize];
+        match list.iter_mut().find(|(p, _)| *p == pred) {
+            Some(entry) => entry.1 += 1,
+            None => list.push((pred, 1)),
+        }
+    }
+
+    pub(crate) fn note_ref_added(&mut self, from: u32, target: Option<u32>) {
         if !self.active {
             return;
         }
-        if let ObjRef::Local(target) = to {
-            // The target (or its pred map) may already be gone when dangling
-            // slots to collected objects are dropped — saturate silently.
-            if let Some(preds) = self.preds.get_mut(&target) {
-                if let Some(count) = preds.get_mut(&from) {
-                    *count -= 1;
-                    if *count == 0 {
-                        preds.remove(&from);
-                    }
-                }
-                if preds.is_empty() {
-                    self.preds.remove(&target);
+        if let Some(target) = target {
+            self.add_pred(target, from);
+        }
+        self.set_dirty(from);
+    }
+
+    pub(crate) fn note_ref_removed(&mut self, from: u32, target: Option<u32>) {
+        if !self.active {
+            return;
+        }
+        // The target may already be gone when dangling slots to collected
+        // objects are dropped — its pred list was torn down at free time.
+        if let Some(target) = target {
+            let list = &mut self.preds[target as usize];
+            if let Some(pos) = list.iter().position(|&(p, _)| p == from) {
+                list[pos].1 -= 1;
+                if list[pos].1 == 0 {
+                    list.swap_remove(pos);
                 }
             }
         }
-        self.dirty.insert(from);
+        self.set_dirty(from);
     }
 
     pub(crate) fn note_anchor_dirty(&mut self) {
@@ -350,11 +430,11 @@ impl DeltaTracker {
     }
 
     /// A fresh object became a local root; it reaches nothing yet, so the
-    /// locally-rooted cache can be extended in place instead of marking the
+    /// rootedness bitset can be extended in place instead of marking the
     /// whole anchor dirty.
-    pub(crate) fn note_fresh_local_root(&mut self, id: ObjectId) {
+    pub(crate) fn note_fresh_local_root(&mut self, slot: u32) {
         if self.active {
-            self.locally_rooted.insert(id);
+            self.rooted_words[(slot >> 6) as usize] |= 1u64 << (slot & 63);
         }
     }
 
@@ -379,40 +459,97 @@ impl DeltaTracker {
         }
     }
 
-    pub(crate) fn note_collected(
-        &mut self,
-        freed: &BTreeSet<ObjectId>,
-        objects: &BTreeMap<ObjectId, crate::object::HeapObject>,
-    ) {
-        if !self.active {
-            return;
+    /// Drops one predecessor entry entirely (the predecessor is being
+    /// collected; its occurrence count no longer matters).
+    pub(crate) fn remove_pred(&mut self, target: u32, pred: u32) {
+        let list = &mut self.preds[target as usize];
+        if let Some(pos) = list.iter().position(|&(p, _)| p == pred) {
+            list.swap_remove(pos);
         }
-        for id in freed {
-            if let Some(obj) = objects.get(id) {
-                for target in obj.local_refs() {
-                    if let Some(preds) = self.preds.get_mut(&target) {
-                        preds.remove(id);
-                        if preds.is_empty() {
-                            self.preds.remove(&target);
-                        }
-                    }
+    }
+
+    /// Forgets everything keyed to a slot being freed: its own predecessor
+    /// list, its dirty bit (the `dirty_list` entry goes stale and is skipped
+    /// at closure time) and its rootedness bit.
+    pub(crate) fn note_freed_slot(&mut self, slot: u32) {
+        self.preds[slot as usize].clear();
+        let word = (slot >> 6) as usize;
+        let bit = 1u64 << (slot & 63);
+        self.dirty_words[word] &= !bit;
+        self.rooted_words[word] &= !bit;
+    }
+
+    /// True when the slot was reachable from the local root set as of the
+    /// last delta.
+    fn is_rooted_slot(&self, slot: u32) -> bool {
+        self.rooted_words
+            .get((slot >> 6) as usize)
+            .is_some_and(|w| w & (1u64 << (slot & 63)) != 0)
+    }
+
+    /// Replaces the rootedness bitset with the given visit list.
+    fn set_rooted_from(&mut self, visited: &[u32]) {
+        for word in &mut self.rooted_words {
+            *word = 0;
+        }
+        for &slot in visited {
+            self.rooted_words[(slot >> 6) as usize] |= 1u64 << (slot & 63);
+        }
+    }
+
+    fn rooted_bits(&self) -> usize {
+        self.rooted_words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Computes the reverse-edge closure of the dirty slots into
+    /// `self.affected`: every slot that can currently reach a dirty slot —
+    /// the only candidates whose forward-reachable sets can have changed.
+    fn compute_affected(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.affected.clear();
+        self.stack.clear();
+        for i in 0..self.dirty_list.len() {
+            let slot = self.dirty_list[i];
+            if self.is_dirty(slot) {
+                self.stack.push(slot);
+            }
+        }
+        while let Some(slot) = self.stack.pop() {
+            let s = slot as usize;
+            if self.mark[s] == self.epoch {
+                continue;
+            }
+            self.mark[s] = self.epoch;
+            self.affected.push(slot);
+            for i in 0..self.preds[s].len() {
+                let (pred, _count) = self.preds[s][i];
+                if self.mark[pred as usize] != self.epoch {
+                    self.stack.push(pred);
                 }
             }
-            self.preds.remove(id);
-            self.dirty.remove(id);
-            self.locally_rooted.remove(id);
         }
     }
 
     fn has_dirt(&self) -> bool {
         self.anchor_dirty
-            || !self.dirty.is_empty()
+            || !self.dirty_list.is_empty()
             || !self.roots_added.is_empty()
             || !self.roots_removed.is_empty()
     }
 
     fn clear_dirt(&mut self) {
-        self.dirty.clear();
+        for i in 0..self.dirty_list.len() {
+            let slot = self.dirty_list[i];
+            self.dirty_words[(slot >> 6) as usize] &= !(1u64 << (slot & 63));
+        }
+        self.dirty_list.clear();
         self.anchor_dirty = false;
         self.roots_added.clear();
         self.roots_removed.clear();
@@ -430,16 +567,35 @@ impl SiteHeap {
     /// True when the incrementally maintained snapshot agrees with a fresh
     /// full rescan. Used by the runtime's `debug_assert!` equivalence check.
     pub fn tracker_is_consistent(&self) -> bool {
-        !self.tracker().is_active()
-            || (*self.cached_snapshot() == self.snapshot()
-                && self.tracker().locally_rooted == self.locally_rooted())
+        let tracker = self.tracker();
+        if !tracker.is_active() {
+            return true;
+        }
+        if *self.cached_snapshot() != self.snapshot() {
+            return false;
+        }
+        // The rootedness bitset must agree with a fresh local-roots rescan
+        // on every live slot, and carry no stray bits on dead ones.
+        let rooted = self.locally_rooted();
+        let arena = self.arena();
+        let mut live_rooted = 0usize;
+        for slot in arena.live_slots() {
+            let bit = tracker.is_rooted_slot(slot);
+            if bit != rooted.contains(&arena.id_at(slot)) {
+                return false;
+            }
+            if bit {
+                live_rooted += 1;
+            }
+        }
+        tracker.rooted_bits() == live_rooted
     }
 
     /// Produces the edge/rootedness difference accumulated since the last
     /// call, updating the cached snapshot along the way.
     ///
     /// Work is proportional to the *affected* region — the reverse-edge
-    /// closure of the objects whose slots changed, plus one reachability
+    /// closure of the slots whose edge lists changed, plus one reachability
     /// recomputation per vertex in that region — not to the heap. A
     /// mutation that touched nothing relevant returns an empty delta
     /// without traversing anything.
@@ -452,32 +608,21 @@ impl SiteHeap {
             return EdgeDelta::empty(site);
         }
         let mut tracker = self.take_tracker();
+        tracker.compute_affected();
 
-        // Reverse closure of the dirty objects: every object that can
-        // currently reach a dirty object — the only candidates whose
-        // forward-reachable sets can have changed.
-        let mut affected: BTreeSet<ObjectId> = BTreeSet::new();
-        let mut stack: Vec<ObjectId> = tracker.dirty.iter().copied().collect();
-        while let Some(obj) = stack.pop() {
-            if !affected.insert(obj) {
-                continue;
-            }
-            if let Some(preds) = tracker.preds.get(&obj) {
-                for (&pred, &count) in preds {
-                    if count > 0 && !affected.contains(&pred) {
-                        stack.push(pred);
-                    }
+        let mut anchor_affected = tracker.anchor_dirty;
+        let mut sources: BTreeSet<ObjectId> = BTreeSet::new();
+        {
+            let arena = self.arena();
+            for &slot in &tracker.affected {
+                if arena.has_flag(slot, FLAG_LOCAL_ROOT) {
+                    anchor_affected = true;
+                }
+                if arena.has_flag(slot, FLAG_GLOBAL_ROOT) {
+                    sources.insert(arena.id_at(slot));
                 }
             }
         }
-
-        let anchor_affected =
-            tracker.anchor_dirty || affected.iter().any(|obj| self.is_local_root(*obj));
-        let mut sources: BTreeSet<ObjectId> = affected
-            .iter()
-            .copied()
-            .filter(|obj| self.is_global_root(*obj))
-            .collect();
         sources.extend(tracker.roots_added.iter().copied());
         for id in &tracker.roots_removed {
             sources.remove(id);
@@ -506,7 +651,9 @@ impl SiteHeap {
         // root set changed, so neither can any global root's rootedness).
         let mut rootedness: Vec<(ObjectId, bool)> = Vec::new();
         if anchor_affected {
-            let (reach, remotes) = self.reach_with_remotes(self.local_root_set().iter().copied());
+            let (arena, scratch, local_roots, global_roots) = self.traversal_parts();
+            let mut remotes = BTreeSet::new();
+            arena.mark_reachable(scratch, local_roots.iter().copied(), Some(&mut remotes));
             let created: Vec<GlobalAddr> = remotes
                 .difference(&tracker.cache.from_local_roots)
                 .copied()
@@ -522,24 +669,34 @@ impl SiteHeap {
             }
             tracker.cache.from_local_roots = remotes;
 
-            let mut new_rooted = BTreeSet::new();
-            for &root in self.global_root_set() {
-                if reach.contains(&root) {
-                    new_rooted.insert(root);
-                }
-            }
-            for &root in self.global_root_set() {
+            // After the removed-roots pass above, every cached rootedness
+            // entry names a current global root, so one in-place sweep over
+            // the root set (in id order) finds every transition.
+            for &root in global_roots {
+                let is = arena.slot_of(root).is_some_and(|s| scratch.is_marked(s));
                 let was = tracker.cache.locally_rooted_global_roots.contains(&root);
-                let is = new_rooted.contains(&root);
                 if was != is {
                     rootedness.push((root, is));
+                    if is {
+                        tracker.cache.locally_rooted_global_roots.insert(root);
+                    } else {
+                        tracker.cache.locally_rooted_global_roots.remove(&root);
+                    }
                 }
             }
-            tracker.cache.locally_rooted_global_roots = new_rooted;
-            tracker.locally_rooted = reach;
+            tracker.set_rooted_from(scratch.visited());
         } else {
+            // No anchor-affecting dirt, so no object's rootedness changed;
+            // the only possible transitions are roots *new to the graph*
+            // that happen to sit in the (still-valid) rooted bitset. A root
+            // re-added in this window is already in the cache and reports
+            // nothing — exactly what a snapshot diff would say.
+            let arena = self.arena();
             for &root in &tracker.roots_added {
-                if tracker.locally_rooted.contains(&root) {
+                let is = arena
+                    .slot_of(root)
+                    .is_some_and(|s| tracker.is_rooted_slot(s));
+                if is && !tracker.cache.locally_rooted_global_roots.contains(&root) {
                     rootedness.push((root, true));
                     tracker.cache.locally_rooted_global_roots.insert(root);
                 }
@@ -548,7 +705,11 @@ impl SiteHeap {
 
         // Per-root recomputation for the affected sources only.
         for &root in &sources {
-            let new_set = self.remote_reachable_from([root]);
+            let mut new_set = BTreeSet::new();
+            {
+                let (arena, scratch, _, _) = self.traversal_parts();
+                arena.mark_reachable(scratch, std::iter::once(root), Some(&mut new_set));
+            }
             let vertex = VertexId::Object(GlobalAddr::from_parts(site, root));
             let (created, destroyed) = match tracker.cache.per_global_root.get(&root) {
                 Some(old) => (
@@ -570,14 +731,7 @@ impl SiteHeap {
             site,
             rootedness,
             removed,
-            edges: edges
-                .into_iter()
-                .map(|(vertex, (created, destroyed))| VertexEdgeDelta {
-                    vertex,
-                    created,
-                    destroyed,
-                })
-                .collect(),
+            edges: assemble_vertex_edges(edges),
         }
     }
 
@@ -588,14 +742,24 @@ impl SiteHeap {
         let site = self.site();
         let snapshot = self.snapshot();
         let locally_rooted = self.locally_rooted();
-        let mut preds: BTreeMap<ObjectId, BTreeMap<ObjectId, u32>> = BTreeMap::new();
-        for obj in self.iter() {
-            for target in obj.local_refs() {
-                *preds
-                    .entry(target)
-                    .or_default()
-                    .entry(obj.id())
-                    .or_insert(0) += 1;
+        let mut tracker = DeltaTracker {
+            active: true,
+            ..DeltaTracker::default()
+        };
+        {
+            let arena = self.arena();
+            tracker.ensure_capacity(arena.slot_count());
+            for slot in arena.live_slots() {
+                for target in arena.refs(slot).filter_map(|r| r.as_local()) {
+                    if let Some(t) = arena.slot_of(target) {
+                        tracker.add_pred(t, slot);
+                    }
+                }
+            }
+            for id in &locally_rooted {
+                if let Some(slot) = arena.slot_of(*id) {
+                    tracker.note_fresh_local_root(slot);
+                }
             }
         }
 
@@ -623,30 +787,14 @@ impl SiteHeap {
             }
         }
 
-        let tracker = DeltaTracker {
-            active: true,
-            preds,
-            dirty: BTreeSet::new(),
-            anchor_dirty: false,
-            roots_added: BTreeSet::new(),
-            roots_removed: BTreeSet::new(),
-            cache: snapshot,
-            locally_rooted,
-        };
+        tracker.cache = snapshot;
         self.put_tracker(tracker);
 
         EdgeDelta {
             site,
             rootedness,
             removed: Vec::new(),
-            edges: edges
-                .into_iter()
-                .map(|(vertex, (created, destroyed))| VertexEdgeDelta {
-                    vertex,
-                    created,
-                    destroyed,
-                })
-                .collect(),
+            edges: assemble_vertex_edges(edges),
         }
     }
 }

@@ -23,7 +23,10 @@ use crate::codec::CodecError;
 /// Version byte of the durable format (WAL header and checkpoint header).
 /// Bump on any incompatible change to the framing or the record encodings
 /// in [`crate::wire`]/[`crate::record`].
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// v2: `HeapImage` carries the arena's generation watermark, so restored
+/// slabs invalidate every pre-checkpoint `ObjectSlot` handle.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Magic prefix of a WAL.
 pub const WAL_MAGIC: &[u8; 4] = b"GGDW";

@@ -349,6 +349,7 @@ impl Encode for HeapImage {
         self.local_roots.encode(out);
         self.global_roots.encode(out);
         self.objects.encode(out);
+        self.generation.encode(out);
     }
 }
 impl Decode for HeapImage {
@@ -360,6 +361,7 @@ impl Decode for HeapImage {
             local_roots: std::collections::BTreeSet::decode(r)?,
             global_roots: std::collections::BTreeSet::decode(r)?,
             objects: Vec::decode(r)?,
+            generation: u32::decode(r)?,
         })
     }
 }
